@@ -1,0 +1,294 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (DESIGN.md §4 maps each to its experiment function).
+// Static tables bench the model encodings; figure benches run the
+// simulation pipeline on a reduced configuration (4x4 mesh, short traces)
+// so `go test -bench=. -benchmem` regenerates every result in minutes.
+// The full-size 8x8 reproduction lives in cmd/experiments.
+package main
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/mcsim"
+	"repro/internal/ml"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/vr"
+)
+
+// benchSuite builds the reduced-configuration suite shared by the figure
+// benchmarks.
+func benchSuite() *core.Suite {
+	return core.NewSuite(topology.NewMesh(4, 4), core.Options{Horizon: 8000, Seed: 3})
+}
+
+// injectPassthroughModels installs IBU-passthrough predictors so figure
+// benches measure simulation, not training.
+func injectPassthroughModels(s *core.Suite) {
+	for _, k := range core.MLKinds {
+		s.SetTrainedModel(k, &ml.Ridge{Weights: []float64{0, 0, 0, 0, 1}})
+	}
+}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.TableI()
+		r.Write(io.Discard)
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.TableII()
+		r.Write(io.Discard)
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.TableIII()
+		r.Write(io.Discard)
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.TableV()
+		r.Write(io.Discard)
+	}
+}
+
+func BenchmarkOverheadTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.OverheadTable()
+		r.Write(io.Discard)
+	}
+}
+
+func BenchmarkFig5Waveforms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig5(10, 0.1, 40)
+		r.Write(io.Discard)
+	}
+}
+
+func BenchmarkFig6Efficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig6()
+		r.Write(io.Discard)
+	}
+}
+
+func BenchmarkFig7ModeDistribution(b *testing.B) {
+	s := benchSuite()
+	injectPassthroughModels(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig7(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Write(io.Discard)
+	}
+}
+
+func BenchmarkFig8EnergyThroughput(b *testing.B) {
+	s := benchSuite()
+	injectPassthroughModels(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig8(s, exp.DefaultCompression)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Write(io.Discard)
+	}
+}
+
+func BenchmarkFig9FeatureAccuracy(b *testing.B) {
+	s := benchSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig9(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Write(io.Discard)
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	s := benchSuite()
+	injectPassthroughModels(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Headline(s, exp.DefaultCompression, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Write(io.Discard)
+	}
+}
+
+func BenchmarkEpochSweep(b *testing.B) {
+	factory := func(ep int64) *core.Suite {
+		s := core.NewSuite(topology.NewMesh(4, 4), core.Options{Horizon: 8000, Seed: 3, EpochTicks: ep})
+		injectPassthroughModels(s)
+		return s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunEpochSweep(factory, "fft", exp.DefaultCompression, []int64{250, 500})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Write(io.Discard)
+	}
+}
+
+// BenchmarkTraining measures the full offline ML pipeline (reactive
+// harvest over 9 traces + lambda sweep) for one model.
+func BenchmarkTraining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := s.Train(core.KindDozzNoC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBaseline measures raw simulation speed: base ticks per
+// second on a quiet 8x8 mesh baseline run.
+func BenchmarkEngineBaseline(b *testing.B) {
+	topo := topology.NewMesh(8, 8)
+	p, _ := traffic.ProfileByName("fft")
+	g := traffic.Generator{Topo: topo, Horizon: 10_000, Seed: 1}
+	tr := g.Generate(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Config{Topo: topo, Spec: policy.Baseline(), Trace: tr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineDozzNoC measures the proposed model's simulation speed
+// (power gating + DVFS + per-epoch feature extraction).
+func BenchmarkEngineDozzNoC(b *testing.B) {
+	topo := topology.NewMesh(8, 8)
+	p, _ := traffic.ProfileByName("fft")
+	g := traffic.Generator{Topo: topo, Horizon: 10_000, Seed: 1}
+	tr := g.Generate(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Config{Topo: topo, Spec: policy.DozzNoC(policy.ReactiveSelector{}), Trace: tr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRidgeFit measures the closed-form ridge solve on a dataset the
+// size of one full training corpus row count.
+func BenchmarkRidgeFit(b *testing.B) {
+	s := benchSuite()
+	train, err := s.MergedDataset(core.KindDozzNoC, traffic.Train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scaler := ml.FitScaler(train.X)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.FitRidge(train.X, train.Y, 0.1, scaler); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures synthesizing one full-size benchmark
+// trace on the 8x8 mesh.
+func BenchmarkTraceGeneration(b *testing.B) {
+	topo := topology.NewMesh(8, 8)
+	p, _ := traffic.ProfileByName("canneal")
+	for i := 0; i < b.N; i++ {
+		g := traffic.Generator{Topo: topo, Horizon: 60_000, Seed: int64(i + 1)}
+		tr := g.Generate(p)
+		if len(tr.Entries) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkTableVDerived measures the mini-DSENT analytical derivation of
+// Table V.
+func BenchmarkTableVDerived(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.TableVDerived()
+		r.Write(io.Discard)
+	}
+}
+
+// BenchmarkSIMOConverter measures the circuit-level SIMO simulation: cold
+// start plus 200 us of steady-state regulation.
+func BenchmarkSIMOConverter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := vr.NewSIMOSim(vr.DefaultSIMO())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := s.StartupTimeUS(0.03, 500); !ok {
+			b.Fatal("no regulation")
+		}
+		s.Run(300)
+	}
+}
+
+// BenchmarkClosedLoop measures the full-system (mcsim) comparison across
+// all five models on a reduced mesh.
+func BenchmarkClosedLoop(b *testing.B) {
+	topo := topology.NewMesh(4, 4)
+	params := mcsim.DefaultSystem(topo)
+	params.Core.Instructions = 20_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := exp.ClosedLoop(topo, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Write(io.Discard)
+	}
+}
+
+// BenchmarkFeatureSet41 measures the DozzNoC-41 training and comparison
+// pipeline on a reduced configuration.
+func BenchmarkFeatureSet41(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		r, err := exp.FeatureSet41(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Write(io.Discard)
+	}
+}
+
+// BenchmarkAblations measures the T-Idle and punch-horizon sweeps.
+func BenchmarkAblations(b *testing.B) {
+	topo := topology.NewMesh(4, 4)
+	for i := 0; i < b.N; i++ {
+		t, err := exp.TIdleSweep(topo, "fft", 6000, []int{2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t.Write(io.Discard)
+		p, err := exp.PunchSweep(topo, "fft", 6000, []int{0, -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Write(io.Discard)
+	}
+}

@@ -1,0 +1,159 @@
+// Command dozznoc runs one power-management model over one benchmark trace
+// and prints the run summary.
+//
+// Usage:
+//
+//	dozznoc -topo mesh8x8 -model dozznoc -bench fft -compress 1
+//
+// ML models (lead, dozznoc, turbo) are trained on the fly via the offline
+// pipeline (reactive data harvest on the 6 training benchmarks, lambda
+// tuning on the 3 validation benchmarks) unless -weights points at a model
+// file written by cmd/train.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		topoName   = flag.String("topo", "mesh8x8", "topology: mesh8x8, cmesh4x4 or mesh<W>x<H>")
+		model      = flag.String("model", "dozznoc", "model: baseline, pg, lead, dozznoc, turbo")
+		bench      = flag.String("bench", "fft", "benchmark name (see -list)")
+		compress   = flag.Int64("compress", 1, "trace time-compression factor (1 = uncompressed)")
+		horizon    = flag.Int64("horizon", 120_000, "trace generation window in base ticks")
+		epoch      = flag.Int64("epoch", 500, "DVFS epoch length in base ticks")
+		seed       = flag.Int64("seed", 1, "trace generator seed")
+		weights    = flag.String("weights", "", "optional trained-model JSON (skips on-the-fly training)")
+		weightsDir = flag.String("weightsdir", "", "directory of cmd/train outputs to load (skips training)")
+		traceIn    = flag.String("trace", "", "optional binary trace file (overrides -bench)")
+		pattern    = flag.String("pattern", "", "optional synthetic pattern (overrides -bench): uniform, transpose, bitcomp, hotspot, neighbor")
+		rate       = flag.Float64("rate", 0.01, "injection rate for -pattern (packets/core/tick)")
+		series     = flag.String("series", "", "write a per-epoch time-series CSV to this file")
+		list       = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range traffic.Profiles() {
+			fmt.Printf("%-14s %-8s %s\n", p.Name, p.Suite, p.Split)
+		}
+		return
+	}
+
+	topo, err := cli.ParseTopo(*topoName)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := cli.ParseKind(*model)
+	if err != nil {
+		fatal(err)
+	}
+
+	suite := core.NewSuite(topo, core.Options{Horizon: *horizon, EpochTicks: *epoch, Seed: *seed})
+	if *weightsDir != "" {
+		n, err := suite.LoadTrainedModels(*weightsDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d trained models from %s\n", n, *weightsDir)
+	}
+	if kind.IsML() && suite.TrainedModel(kind) == nil {
+		if *weights != "" {
+			m, err := ml.LoadModel(*weights)
+			if err != nil {
+				fatal(err)
+			}
+			suite.SetTrainedModel(kind, m)
+		} else {
+			fmt.Fprintln(os.Stderr, "training", kind, "(use -weights to skip)...")
+			if _, err := suite.Train(kind); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	var tr *traffic.Trace
+	switch {
+	case *traceIn != "":
+		tr, err = cli.LoadTrace(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+	case *pattern != "":
+		pat, err := cli.ParsePattern(*pattern)
+		if err != nil {
+			fatal(err)
+		}
+		tr = traffic.Synthetic(topo, pat, *rate, *horizon, *seed)
+	default:
+		tr, err = suite.Trace(*bench)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *compress > 1 {
+		tr = tr.Compress(*compress)
+	}
+	spec, err := suite.Spec(kind)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Topo:          topo,
+		Spec:          spec,
+		Trace:         tr,
+		EpochTicks:    *epoch,
+		CollectSeries: *series != "",
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *series != "" {
+		f, err := os.Create(*series)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Series.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote per-epoch series to %s (%d epochs)\n", *series, len(res.Series.Samples))
+	}
+
+	fmt.Printf("model            %s\n", res.Model)
+	fmt.Printf("trace            %s\n", res.Trace)
+	fmt.Printf("ticks            %d (drained=%v)\n", res.Ticks, res.Drained)
+	fmt.Printf("packets          injected=%d delivered=%d\n", res.PacketsInjected, res.PacketsDelivered)
+	fmt.Printf("throughput       %.4f flits/tick\n", res.Throughput)
+	fmt.Printf("avg latency      %.1f ticks (%.1f ns)\n", res.AvgLatencyTicks, res.AvgLatencyNS)
+	fmt.Printf("latency p50/95/99 %d/%d/%d ticks (max %d)\n",
+		res.Latency.P50, res.Latency.P95, res.Latency.P99, res.Latency.Max)
+	fmt.Printf("EDP              %.3e J*s\n", res.EDP())
+	fmt.Printf("static energy    %.3e J\n", res.StaticJ)
+	fmt.Printf("dynamic energy   %.3e J\n", res.DynamicJ)
+	fmt.Printf("off fraction     %.3f (wakeup %.3f)\n", res.OffFraction, res.WakeupFraction)
+	for i := 0; i < power.NumActiveModes; i++ {
+		fmt.Printf("residency %v     %.3f\n", power.ActiveMode(i), res.ModeResidency[i])
+	}
+	fmt.Printf("gatings          %d (wakes %d, breakeven met %d)\n",
+		res.Policy.Gatings, res.Policy.Wakes, res.Policy.BreakevenMet)
+	fmt.Printf("mode switches    %d over %d epoch decisions\n",
+		res.Policy.ModeSwitches, res.Policy.EpochDecisions)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dozznoc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,232 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and prints them in order. Select a subset with -only
+// (comma-separated ids: table1,table2,table3,table5,overhead,fig5,fig6,
+// table5derived,fig7,fig8,fig9,headline,epochs,tidle,punch,featcount,
+// feat41,closedloop,globaldvfs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/mcsim"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		horizon  = flag.Int64("horizon", 120_000, "trace generation window in base ticks")
+		compress = flag.Int64("compress", exp.DefaultCompression, "compression factor for compressed-trace experiments")
+		seed     = flag.Int64("seed", 1, "trace generator seed")
+		cmesh    = flag.Bool("cmesh", true, "include the 4x4 cmesh headline row")
+		csvDir   = flag.String("csv", "", "also write machine-readable CSVs for fig7/fig8/fig9/headline into this directory")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	out := os.Stdout
+	section := func(id string) {
+		fmt.Fprintf(out, "\n==== %s ====\n", id)
+	}
+
+	if sel("table1") {
+		section("table1")
+		exp.TableI().Write(out)
+	}
+	if sel("table2") {
+		section("table2")
+		exp.TableII().Write(out)
+	}
+	if sel("table3") {
+		section("table3")
+		exp.TableIII().Write(out)
+	}
+	if sel("table5") {
+		section("table5")
+		exp.TableV().Write(out)
+	}
+	if sel("table5derived") {
+		section("table5derived")
+		exp.TableVDerived().Write(out)
+	}
+	if sel("overhead") {
+		section("overhead")
+		exp.OverheadTable().Write(out)
+	}
+	if sel("fig5") {
+		section("fig5")
+		exp.Fig5(10, 0.5, 40).Write(out)
+	}
+	if sel("fig6") {
+		section("fig6")
+		exp.Fig6().Write(out)
+	}
+
+	needSim := sel("fig7") || sel("fig8") || sel("fig9") || sel("headline") ||
+		sel("epochs") || sel("tidle") || sel("punch") || sel("featcount") ||
+		sel("feat41") || sel("closedloop") || sel("globaldvfs")
+	if !needSim {
+		return
+	}
+
+	opts := core.Options{Horizon: *horizon, Seed: *seed}
+	suite := core.NewSuite(topology.NewMesh(8, 8), opts)
+	if sel("fig7") || sel("fig8") || sel("headline") {
+		start := time.Now()
+		fmt.Fprintln(os.Stderr, "training ML models on the 8x8 mesh...")
+		if err := suite.TrainAllParallel(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "training done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if sel("fig7") {
+		section("fig7")
+		r, err := exp.Fig7(suite)
+		if err != nil {
+			fatal(err)
+		}
+		r.Write(out)
+		writeCSVFile(*csvDir, "fig7.csv", r.WriteCSV)
+	}
+	if sel("fig8") {
+		section("fig8")
+		r, err := exp.Fig8(suite, *compress)
+		if err != nil {
+			fatal(err)
+		}
+		r.Write(out)
+		writeCSVFile(*csvDir, "fig8.csv", r.WriteCSV)
+	}
+	if sel("fig9") {
+		section("fig9")
+		r, err := exp.Fig9(suite)
+		if err != nil {
+			fatal(err)
+		}
+		r.Write(out)
+		writeCSVFile(*csvDir, "fig9.csv", r.WriteCSV)
+	}
+	if sel("headline") {
+		section("headline")
+		var cm *core.Suite
+		if *cmesh {
+			cm = core.NewSuite(topology.NewCMesh(4, 4), opts)
+		}
+		r, err := exp.Headline(suite, *compress, cm)
+		if err != nil {
+			fatal(err)
+		}
+		r.Write(out)
+		writeCSVFile(*csvDir, "headline.csv", r.WriteCSV)
+	}
+	if sel("epochs") {
+		section("epochs")
+		factory := func(ep int64) *core.Suite {
+			o := opts
+			o.EpochTicks = ep
+			return core.NewSuite(topology.NewMesh(8, 8), o)
+		}
+		r, err := exp.RunEpochSweep(factory, "fft", *compress, []int64{100, 250, 500, 1000})
+		if err != nil {
+			fatal(err)
+		}
+		r.Write(out)
+	}
+	if sel("tidle") {
+		section("tidle")
+		r, err := exp.TIdleSweep(topology.NewMesh(8, 8), "fft", *horizon, []int{2, 4, 8, 16, 32})
+		if err != nil {
+			fatal(err)
+		}
+		r.Write(out)
+	}
+	if sel("punch") {
+		section("punch")
+		r, err := exp.PunchSweep(topology.NewMesh(8, 8), "fft", *horizon, []int{0, 1, 2, 4, -1})
+		if err != nil {
+			fatal(err)
+		}
+		r.Write(out)
+	}
+	if sel("featcount") {
+		section("featcount")
+		r, err := exp.FeatureCountAblation(suite)
+		if err != nil {
+			fatal(err)
+		}
+		r.Write(out)
+	}
+	if sel("feat41") {
+		section("feat41")
+		r, err := exp.FeatureSet41(suite)
+		if err != nil {
+			fatal(err)
+		}
+		r.Write(out)
+	}
+	if sel("globaldvfs") {
+		section("globaldvfs")
+		r, err := exp.GlobalDVFS(topology.NewMesh(8, 8), *horizon, nil)
+		if err != nil {
+			fatal(err)
+		}
+		r.Write(out)
+	}
+	if sel("closedloop") {
+		section("closedloop")
+		topo := topology.NewMesh(8, 8)
+		r, err := exp.ClosedLoop(topo, mcsim.DefaultSystem(topo))
+		if err != nil {
+			fatal(err)
+		}
+		r.Write(out)
+		sw, err := exp.ClosedLoopSweep(topo, nil, 100_000)
+		if err != nil {
+			fatal(err)
+		}
+		sw.Write(out)
+	}
+}
+
+// writeCSVFile writes one CSV export when -csv is set.
+func writeCSVFile(dir, name string, write func(io.Writer) error) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command tracegen synthesizes benchmark or synthetic-pattern traces and
+// writes them in the binary or CSV trace format, so workloads can be
+// generated once and replayed across simulator runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "", "benchmark profile name (mutually exclusive with -pattern)")
+		pattern  = flag.String("pattern", "", "synthetic pattern: uniform, transpose, bitcomp, hotspot, neighbor")
+		rate     = flag.Float64("rate", 0.01, "injection rate for synthetic patterns (packets/core/tick)")
+		topoName = flag.String("topo", "mesh8x8", "mesh<W>x<H> or cmesh4x4")
+		horizon  = flag.Int64("horizon", 120_000, "generation window in base ticks")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		compress = flag.Int64("compress", 1, "time-compression factor")
+		format   = flag.String("format", "bin", "output format: bin or csv")
+		out      = flag.String("o", "", "output file (default stdout)")
+		list     = flag.Bool("list", false, "list benchmark profiles and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range traffic.Profiles() {
+			s := p
+			fmt.Printf("%-14s %-8s %-11s rate=%.4f duty=%.2f hotspot=%.2f locality=%.2f resp=%.2f\n",
+				s.Name, s.Suite, s.Split, s.ReqRate, s.Duty, s.Hotspot, s.Locality, s.RespFrac)
+		}
+		return
+	}
+
+	topo, err := cli.ParseTopo(*topoName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var tr *traffic.Trace
+	switch {
+	case *bench != "" && *pattern != "":
+		fatal(fmt.Errorf("-bench and -pattern are mutually exclusive"))
+	case *bench != "":
+		p, ok := traffic.ProfileByName(*bench)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q (see -list)", *bench))
+		}
+		g := traffic.Generator{Topo: topo, Horizon: *horizon, Seed: *seed}
+		tr = g.Generate(p)
+	case *pattern != "":
+		pat, err := cli.ParsePattern(*pattern)
+		if err != nil {
+			fatal(err)
+		}
+		tr = traffic.Synthetic(topo, pat, *rate, *horizon, *seed)
+	default:
+		fatal(fmt.Errorf("one of -bench or -pattern is required"))
+	}
+
+	if *compress > 1 {
+		tr = tr.Compress(*compress)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "bin":
+		err = tr.WriteBinary(w)
+	case "csv":
+		err = tr.WriteCSV(w)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	s := tr.Summarize()
+	fmt.Fprintf(os.Stderr, "%s: %d packets (%d req, %d resp), %.4f flits/core/tick over %d ticks\n",
+		tr.Name, s.Packets, s.Requests, s.Responses, s.FlitRate, s.Span)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

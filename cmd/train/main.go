@@ -1,0 +1,83 @@
+// Command train runs the offline ML pipeline of §III-D for one or all
+// model kinds: harvest feature/label datasets by running the reactive
+// model variants over the 6 training and 3 validation benchmarks, sweep
+// the ridge lambda on validation MSE, and write the winning weight vector
+// (with its feature scaler) to a JSON file usable by cmd/dozznoc -weights.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "all", "lead, dozznoc, turbo or all")
+		outDir  = flag.String("out", ".", "directory for <model>.weights.json files")
+		horizon = flag.Int64("horizon", 120_000, "trace generation window in base ticks")
+		epoch   = flag.Int64("epoch", 500, "DVFS epoch length in base ticks")
+		seed    = flag.Int64("seed", 1, "trace generator seed")
+		cmesh   = flag.Bool("cmesh", false, "train on the 4x4 cmesh instead of the 8x8 mesh")
+	)
+	flag.Parse()
+
+	var topo = topology.NewMesh(8, 8)
+	if *cmesh {
+		topo = topology.NewCMesh(4, 4)
+	}
+	suite := core.NewSuite(topo, core.Options{Horizon: *horizon, EpochTicks: *epoch, Seed: *seed})
+
+	kinds, err := parseKinds(*model)
+	if err != nil {
+		fatal(err)
+	}
+	for _, kind := range kinds {
+		fmt.Fprintf(os.Stderr, "training %v on %s (harvest 9 traces, sweep %d lambdas)...\n",
+			kind, topo.Name(), len(suite.Opts.Lambdas))
+		rep, err := suite.Train(kind)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%v: best lambda %g, validation MSE %.4e, train MSE %.4e\n",
+			kind, rep.BestVal.Lambda, rep.BestVal.ValMSE, rep.BestVal.TrainMSE)
+		fmt.Printf("%v: weights %v\n", kind, rep.Best.Weights)
+		for _, p := range rep.Sweep {
+			fmt.Printf("  lambda %-8g val MSE %.4e  train MSE %.4e\n", p.Lambda, p.ValMSE, p.TrainMSE)
+		}
+		name, err := core.WeightsFileName(kind)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*outDir, name)
+		if err := ml.SaveModel(path, rep.Best); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%v: wrote %s\n", kind, path)
+	}
+}
+
+func parseKinds(s string) ([]core.ModelKind, error) {
+	switch strings.ToLower(s) {
+	case "all":
+		return core.MLKinds, nil
+	case "lead":
+		return []core.ModelKind{core.KindLEAD}, nil
+	case "dozznoc":
+		return []core.ModelKind{core.KindDozzNoC}, nil
+	case "turbo":
+		return []core.ModelKind{core.KindTurbo}, nil
+	}
+	return nil, fmt.Errorf("unknown model %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "train:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Benchmark sweep: the paper's §IV-B2 protocol in miniature — train the
+// three ML models, then run all five power-management models over every
+// test benchmark and print per-benchmark and average energy savings and
+// performance costs, for both uncompressed and compressed traces.
+//
+// Run with (a few minutes on the full 8x8 mesh):
+//
+//	go run ./examples/benchmark_sweep
+//
+// or quickly on a smaller configuration:
+//
+//	go run ./examples/benchmark_sweep -mesh 4 -horizon 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		mesh     = flag.Int("mesh", 8, "mesh side length")
+		horizon  = flag.Int64("horizon", 60_000, "trace window in base ticks")
+		compress = flag.Int64("compress", 2, "compression factor for the performance runs")
+	)
+	flag.Parse()
+
+	suite := core.NewSuite(topology.NewMesh(*mesh, *mesh), core.Options{Horizon: *horizon})
+
+	start := time.Now()
+	fmt.Fprintln(os.Stderr, "training LEAD-tau, DozzNoC and ML+TURBO...")
+	if err := suite.TrainAllParallel(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "trained in %v\n", time.Since(start).Round(time.Millisecond))
+
+	type agg struct {
+		static, dynamic, tput, lat float64
+	}
+	sums := map[core.ModelKind]*agg{}
+	for _, k := range core.AllKinds {
+		sums[k] = &agg{}
+	}
+
+	benches := traffic.ProfilesBySplit(traffic.Test)
+	fmt.Printf("%-14s %-10s %12s %12s %12s %12s\n",
+		"bench", "model", "static-sav", "dyn-sav", "tput-ratio", "lat-ratio")
+	for _, b := range benches {
+		unc, err := suite.Compare(b.Name, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp, err := suite.Compare(b.Name, *compress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perf := map[core.ModelKind]core.Relative{}
+		for _, rel := range cmp.Relatives() {
+			perf[rel.Kind] = rel
+		}
+		for _, rel := range unc.Relatives() {
+			p := perf[rel.Kind]
+			fmt.Printf("%-14s %-10s %11.1f%% %11.1f%% %12.3f %12.3f\n",
+				b.Name, rel.Kind, 100*rel.StaticSavings, 100*rel.DynamicSavings,
+				p.ThroughputRatio, p.LatencyRatio)
+			s := sums[rel.Kind]
+			s.static += rel.StaticSavings
+			s.dynamic += rel.DynamicSavings
+			s.tput += p.ThroughputRatio
+			s.lat += p.LatencyRatio
+		}
+	}
+
+	n := float64(len(benches))
+	fmt.Printf("\naverages over %d test benchmarks (energy uncompressed, perf compressed x%d):\n", len(benches), *compress)
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "model", "static-sav", "dyn-sav", "tput-loss", "lat-incr")
+	for _, k := range core.AllKinds {
+		s := sums[k]
+		fmt.Printf("%-10s %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
+			k, 100*s.static/n, 100*s.dynamic/n, 100*(1-s.tput/n), 100*(s.lat/n-1))
+	}
+}

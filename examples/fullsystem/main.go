@@ -1,0 +1,63 @@
+// Fullsystem: run the closed-loop multicore model (cores + private L1s +
+// S-NUCA L2 banks + corner memory controllers) over each power-management
+// model and report *application* slowdown — the metric a full-system
+// simulator like the paper's Multi2Sim would report. Unlike trace replay,
+// the cores here stall on their MSHRs, so network slowdowns stretch
+// program runtime directly.
+//
+// Run with:
+//
+//	go run ./examples/fullsystem
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mcsim"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func main() {
+	topo := topology.NewMesh(8, 8)
+	params := mcsim.DefaultSystem(topo)
+
+	specs := []policy.Spec{
+		policy.Baseline(),
+		policy.PowerGated(),
+		policy.DVFSML(policy.ReactiveSelector{}),
+		policy.DozzNoC(policy.ReactiveSelector{}),
+		policy.MLTurbo(policy.ReactiveSelector{}, topo.NumRouters()),
+	}
+
+	fmt.Printf("%-10s %12s %10s %12s %12s %12s %10s\n",
+		"model", "runtime(us)", "slowdown", "static(J)", "dynamic(J)", "stall-ticks", "off-frac")
+	var baseTicks int64
+	for _, spec := range specs {
+		w, err := mcsim.New(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{Topo: topo, Spec: spec, Workload: w})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Drained {
+			log.Fatalf("%s: did not finish", spec.Name)
+		}
+		if spec.Name == "Baseline" {
+			baseTicks = res.Ticks
+		}
+		fmt.Printf("%-10s %12.1f %10.3f %12.3e %12.3e %12d %10.3f\n",
+			res.Model,
+			float64(res.Ticks)*0.4444/1000, // base ticks -> us at 2.25 GHz
+			float64(res.Ticks)/float64(baseTicks),
+			res.StaticJ, res.DynamicJ,
+			w.Stats().StalledTicks,
+			res.OffFraction)
+	}
+	fmt.Println("\nSlowdown is end-to-end application runtime vs the baseline NoC —")
+	fmt.Println("the closed-loop analogue of the paper's trace-replay throughput loss.")
+}

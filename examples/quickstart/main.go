@@ -1,0 +1,54 @@
+// Quickstart: train DozzNoC's ridge predictor on a small mesh, run the
+// proposed model against the always-on baseline on one benchmark, and
+// print the headline trade-off (static/dynamic energy saved vs throughput
+// and latency cost).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func main() {
+	// A 4x4 mesh and a short trace keep the whole pipeline (reactive data
+	// harvest on 6 training benchmarks, lambda tuning on 3 validation
+	// benchmarks, final proactive run) under a few seconds.
+	suite := core.NewSuite(topology.NewMesh(4, 4), core.Options{Horizon: 20_000})
+
+	rep, err := suite.Train(core.KindDozzNoC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained ridge model: lambda=%g, validation MSE=%.3e\n",
+		rep.BestVal.Lambda, rep.BestVal.ValMSE)
+	fmt.Printf("weights (bias, reqs_sent, reqs_recv, off_time, ibu): %.4f\n", rep.Best.Weights)
+
+	baseline, err := suite.RunBenchmark(core.KindBaseline, "fft", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dozznoc, err := suite.RunBenchmark(core.KindDozzNoC, "fft", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-22s %14s %14s\n", "metric", "baseline", "DozzNoC")
+	fmt.Printf("%-22s %14d %14d\n", "packets delivered", baseline.PacketsDelivered, dozznoc.PacketsDelivered)
+	fmt.Printf("%-22s %14.3f %14.3f\n", "throughput (flit/tick)", baseline.Throughput, dozznoc.Throughput)
+	fmt.Printf("%-22s %14.1f %14.1f\n", "avg latency (ns)", baseline.AvgLatencyNS, dozznoc.AvgLatencyNS)
+	fmt.Printf("%-22s %14.3e %14.3e\n", "static energy (J)", baseline.StaticJ, dozznoc.StaticJ)
+	fmt.Printf("%-22s %14.3e %14.3e\n", "dynamic energy (J)", baseline.DynamicJ, dozznoc.DynamicJ)
+	fmt.Printf("%-22s %14s %14.1f%%\n", "time power-gated", "-", 100*dozznoc.OffFraction)
+
+	fmt.Printf("\nDozzNoC saved %.1f%% static and %.1f%% dynamic energy for a %.1f%% throughput change.\n",
+		100*(1-dozznoc.StaticJ/baseline.StaticJ),
+		100*(1-dozznoc.DynamicJ/baseline.DynamicJ),
+		100*(dozznoc.Throughput/baseline.Throughput-1))
+}

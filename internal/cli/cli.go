@@ -1,0 +1,78 @@
+// Package cli holds the small parsing helpers shared by the command-line
+// tools (topology, model-kind and pattern names, trace loading).
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// ParseTopo parses "mesh<W>x<H>" or "cmesh4x4".
+func ParseTopo(name string) (topology.Topology, error) {
+	switch {
+	case name == "cmesh4x4":
+		return topology.NewCMesh(4, 4), nil
+	case strings.HasPrefix(name, "cmesh"):
+		var w, h int
+		if _, err := fmt.Sscanf(name, "cmesh%dx%d", &w, &h); err != nil {
+			return nil, fmt.Errorf("cli: bad topology %q", name)
+		}
+		return topology.NewCMesh(w, h), nil
+	case strings.HasPrefix(name, "mesh"):
+		var w, h int
+		if _, err := fmt.Sscanf(name, "mesh%dx%d", &w, &h); err != nil {
+			return nil, fmt.Errorf("cli: bad topology %q", name)
+		}
+		return topology.NewMesh(w, h), nil
+	}
+	return nil, fmt.Errorf("cli: unknown topology %q", name)
+}
+
+// ParseKind parses a model name as used throughout the paper.
+func ParseKind(name string) (core.ModelKind, error) {
+	switch strings.ToLower(name) {
+	case "baseline":
+		return core.KindBaseline, nil
+	case "pg", "powerpunch", "power-gated":
+		return core.KindPG, nil
+	case "lead", "lead-tau", "dvfs+ml", "dvfsml":
+		return core.KindLEAD, nil
+	case "dozznoc":
+		return core.KindDozzNoC, nil
+	case "turbo", "ml+turbo", "mlturbo":
+		return core.KindTurbo, nil
+	}
+	return 0, fmt.Errorf("cli: unknown model %q", name)
+}
+
+// ParsePattern parses a synthetic-pattern name.
+func ParsePattern(name string) (traffic.Pattern, error) {
+	switch strings.ToLower(name) {
+	case "uniform", "random":
+		return traffic.UniformRandom, nil
+	case "transpose":
+		return traffic.Transpose, nil
+	case "bitcomp", "bitcomplement":
+		return traffic.BitComplement, nil
+	case "hotspot":
+		return traffic.Hotspot, nil
+	case "neighbor":
+		return traffic.Neighbor, nil
+	}
+	return 0, fmt.Errorf("cli: unknown pattern %q", name)
+}
+
+// LoadTrace reads a binary trace file written by cmd/tracegen.
+func LoadTrace(path string) (*traffic.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cli: open trace: %w", err)
+	}
+	defer f.Close()
+	return traffic.ReadBinary(f)
+}

@@ -1,0 +1,95 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func TestParseTopo(t *testing.T) {
+	m, err := ParseTopo("mesh8x8")
+	if err != nil || m.NumRouters() != 64 || m.Concentration() != 1 {
+		t.Fatalf("mesh8x8 = %v, %v", m, err)
+	}
+	c, err := ParseTopo("cmesh4x4")
+	if err != nil || c.NumRouters() != 16 || c.Concentration() != 4 {
+		t.Fatalf("cmesh4x4 = %v, %v", c, err)
+	}
+	r, err := ParseTopo("mesh6x3")
+	if err != nil || r.Width() != 6 || r.Height() != 3 {
+		t.Fatalf("mesh6x3 = %v, %v", r, err)
+	}
+	for _, bad := range []string{"", "torus4x4", "meshAxB", "grid"} {
+		if _, err := ParseTopo(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]core.ModelKind{
+		"baseline": core.KindBaseline,
+		"PG":       core.KindPG,
+		"lead":     core.KindLEAD,
+		"LEAD-tau": core.KindLEAD,
+		"DozzNoC":  core.KindDozzNoC,
+		"ml+turbo": core.KindTurbo,
+	}
+	for name, want := range cases {
+		got, err := ParseKind(name)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseKind("mystery"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	cases := map[string]traffic.Pattern{
+		"uniform":   traffic.UniformRandom,
+		"random":    traffic.UniformRandom,
+		"transpose": traffic.Transpose,
+		"bitcomp":   traffic.BitComplement,
+		"hotspot":   traffic.Hotspot,
+		"neighbor":  traffic.Neighbor,
+	}
+	for name, want := range cases {
+		got, err := ParsePattern(name)
+		if err != nil || got != want {
+			t.Errorf("ParsePattern(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParsePattern("zigzag"); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestLoadTrace(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	tr := traffic.Synthetic(topo, traffic.UniformRandom, 0.01, 1000, 1)
+	path := filepath.Join(t.TempDir(), "x.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != len(tr.Entries) {
+		t.Fatalf("loaded %d entries, want %d", len(got.Entries), len(tr.Entries))
+	}
+	if _, err := LoadTrace(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file loaded")
+	}
+}

@@ -1,0 +1,603 @@
+// Package core is the top-level DozzNoC API: it wires the traffic
+// generator, the offline ML training pipeline and the simulation engine
+// into the paper's experimental protocol, so a caller can reproduce any
+// evaluation result in a few lines:
+//
+//	suite := core.NewSuite(topology.NewMesh(8, 8), core.Options{})
+//	if err := suite.TrainAll(); err != nil { ... }
+//	res, err := suite.RunBenchmark(core.KindDozzNoC, "fft", 1)
+//
+// The suite caches generated traces, reactive-run datasets and trained
+// models, so repeated experiment functions share work.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"repro/internal/ml"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// ModelKind identifies one of the five compared models.
+type ModelKind int
+
+const (
+	// KindBaseline is always-on, always-M7.
+	KindBaseline ModelKind = iota
+	// KindPG is the Power-Punch-like power-gated model (active = M7).
+	KindPG
+	// KindLEAD is LEAD-tau: ML-driven DVFS, no power-gating.
+	KindLEAD
+	// KindDozzNoC is the proposed ML+PG+DVFS model.
+	KindDozzNoC
+	// KindTurbo is ML+TURBO.
+	KindTurbo
+
+	numKinds
+)
+
+// AllKinds lists the models in the paper's comparison order.
+var AllKinds = []ModelKind{KindBaseline, KindPG, KindLEAD, KindDozzNoC, KindTurbo}
+
+// MLKinds lists the three models that carry a trained predictor.
+var MLKinds = []ModelKind{KindLEAD, KindDozzNoC, KindTurbo}
+
+// String names a model kind as the paper does.
+func (k ModelKind) String() string {
+	switch k {
+	case KindBaseline:
+		return "Baseline"
+	case KindPG:
+		return "PG"
+	case KindLEAD:
+		return "DVFS+ML"
+	case KindDozzNoC:
+		return "DozzNoC"
+	case KindTurbo:
+		return "ML+TURBO"
+	}
+	return fmt.Sprintf("ModelKind(%d)", int(k))
+}
+
+// IsML reports whether the kind uses a trained predictor.
+func (k ModelKind) IsML() bool {
+	return k == KindLEAD || k == KindDozzNoC || k == KindTurbo
+}
+
+// Options tune the suite; zero values select the paper's configuration.
+type Options struct {
+	VCs        int   // per-port virtual channels (default 2)
+	Depth      int   // flits per VC (default 4)
+	Pipeline   int   // router pipeline depth (default 3)
+	LinkTicks  int64 // inter-router wire latency in base ticks (default 0)
+	EpochTicks int64 // DVFS epoch in base ticks (default 500)
+	Horizon    int64 // trace generation window in ticks (default 120000)
+	Seed       int64 // trace generator seed (default 1)
+	Lambdas    []float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.VCs == 0 {
+		o.VCs = sim.DefaultVCs
+	}
+	if o.Depth == 0 {
+		o.Depth = sim.DefaultDepth
+	}
+	if o.Pipeline == 0 {
+		o.Pipeline = sim.DefaultPipeline
+	}
+	if o.EpochTicks == 0 {
+		o.EpochTicks = sim.DefaultEpochTicks
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 120_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Lambdas) == 0 {
+		o.Lambdas = ml.DefaultLambdas
+	}
+	return o
+}
+
+type datasetKey struct {
+	kind  ModelKind
+	trace string
+}
+
+// Suite orchestrates the full experimental protocol on one topology.
+// Its caches are guarded, so the parallel entry points (CompareParallel,
+// HarvestParallel) may be used from multiple goroutines; individual
+// simulations are single-threaded and deterministic.
+type Suite struct {
+	Topo topology.Topology
+	Opts Options
+
+	mu       sync.Mutex
+	traces   map[string]*traffic.Trace
+	datasets map[datasetKey]*ml.Dataset
+	trained  map[ModelKind]*ml.TrainReport
+}
+
+// NewSuite builds a suite.
+func NewSuite(topo topology.Topology, opts Options) *Suite {
+	return &Suite{
+		Topo:     topo,
+		Opts:     opts.withDefaults(),
+		traces:   make(map[string]*traffic.Trace),
+		datasets: make(map[datasetKey]*ml.Dataset),
+		trained:  make(map[ModelKind]*ml.TrainReport),
+	}
+}
+
+// Trace returns the (cached) uncompressed trace for a benchmark profile.
+func (s *Suite) Trace(name string) (*traffic.Trace, error) {
+	s.mu.Lock()
+	t, ok := s.traces[name]
+	s.mu.Unlock()
+	if ok {
+		return t, nil
+	}
+	p, ok := traffic.ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown benchmark %q", name)
+	}
+	g := traffic.Generator{Topo: s.Topo, Horizon: s.Opts.Horizon, Seed: s.Opts.Seed}
+	t = g.Generate(p)
+	s.mu.Lock()
+	if prev, ok := s.traces[name]; ok {
+		t = prev // a concurrent generator won; keep one canonical trace
+	} else {
+		s.traces[name] = t
+	}
+	s.mu.Unlock()
+	return t, nil
+}
+
+// TraceCompressed returns the benchmark trace compressed by factor
+// (factor 1 returns the uncompressed trace).
+func (s *Suite) TraceCompressed(name string, factor int64) (*traffic.Trace, error) {
+	t, err := s.Trace(name)
+	if err != nil {
+		return nil, err
+	}
+	if factor <= 1 {
+		return t, nil
+	}
+	return t.Compress(factor), nil
+}
+
+// reactiveSpec returns the reactive (data-harvesting) variant of an ML
+// model kind: identical structure, but mode selection thresholds the
+// *current* IBU instead of a prediction (§III-D "Label").
+func (s *Suite) reactiveSpec(kind ModelKind) policy.Spec {
+	switch kind {
+	case KindLEAD:
+		sp := policy.DVFSML(policy.ReactiveSelector{})
+		sp.Name = "DVFS+ML(reactive)"
+		return sp
+	case KindDozzNoC:
+		sp := policy.DozzNoC(policy.ReactiveSelector{})
+		sp.Name = "DozzNoC(reactive)"
+		return sp
+	case KindTurbo:
+		sp := policy.MLTurbo(policy.ReactiveSelector{}, s.Topo.NumRouters())
+		sp.Name = "ML+TURBO(reactive)"
+		return sp
+	}
+	panic(fmt.Sprintf("core: reactiveSpec of non-ML kind %v", kind))
+}
+
+// Spec returns the runnable policy spec for a kind. ML kinds require a
+// prior TrainAll/Train call.
+func (s *Suite) Spec(kind ModelKind) (policy.Spec, error) {
+	switch kind {
+	case KindBaseline:
+		return policy.Baseline(), nil
+	case KindPG:
+		return policy.PowerGated(), nil
+	}
+	s.mu.Lock()
+	rep, ok := s.trained[kind]
+	s.mu.Unlock()
+	if !ok {
+		return policy.Spec{}, fmt.Errorf("core: model %v is not trained; call Train first", kind)
+	}
+	sel := policy.ProactiveSelector{Model: rep.Best, ModelName: kind.String()}
+	switch kind {
+	case KindLEAD:
+		return policy.DVFSML(sel), nil
+	case KindDozzNoC:
+		return policy.DozzNoC(sel), nil
+	case KindTurbo:
+		return policy.MLTurbo(sel, s.Topo.NumRouters()), nil
+	}
+	return policy.Spec{}, fmt.Errorf("core: unknown model kind %v", kind)
+}
+
+// Dataset returns the (cached) feature/label dataset harvested by running
+// the reactive variant of kind over the named benchmark trace.
+func (s *Suite) Dataset(kind ModelKind, trace string) (*ml.Dataset, error) {
+	key := datasetKey{kind, trace}
+	s.mu.Lock()
+	d, ok := s.datasets[key]
+	s.mu.Unlock()
+	if ok {
+		return d, nil
+	}
+	t, err := s.Trace(trace)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sim.Config{
+		Topo:           s.Topo,
+		Spec:           s.reactiveSpec(kind),
+		Trace:          t,
+		VCs:            s.Opts.VCs,
+		Depth:          s.Opts.Depth,
+		Pipeline:       s.Opts.Pipeline,
+		LinkTicks:      s.Opts.LinkTicks,
+		EpochTicks:     s.Opts.EpochTicks,
+		CollectDataset: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: harvesting %v on %s: %w", kind, trace, err)
+	}
+	s.mu.Lock()
+	if prev, ok := s.datasets[key]; ok {
+		res.Dataset = prev
+	} else {
+		s.datasets[key] = res.Dataset
+	}
+	s.mu.Unlock()
+	return res.Dataset, nil
+}
+
+// MergedDataset concatenates the reactive datasets of kind over a trace
+// split (the per-split training/validation/test corpora of §III-D).
+func (s *Suite) MergedDataset(kind ModelKind, split traffic.Split) (*ml.Dataset, error) {
+	out := ml.NewDataset(nil)
+	for _, p := range traffic.ProfilesBySplit(split) {
+		d, err := s.Dataset(kind, p.Name)
+		if err != nil {
+			return nil, err
+		}
+		out.Merge(d)
+	}
+	return out, nil
+}
+
+// Train runs the offline pipeline for one ML kind: harvest reactive
+// datasets over the 6 training and 3 validation traces, then sweep lambda
+// and keep the best validation model. The report is cached.
+func (s *Suite) Train(kind ModelKind) (*ml.TrainReport, error) {
+	s.mu.Lock()
+	rep, ok := s.trained[kind]
+	s.mu.Unlock()
+	if ok {
+		return rep, nil
+	}
+	if !kind.IsML() {
+		return nil, fmt.Errorf("core: %v has no trained model", kind)
+	}
+	train, err := s.MergedDataset(kind, traffic.Train)
+	if err != nil {
+		return nil, err
+	}
+	val, err := s.MergedDataset(kind, traffic.Validation)
+	if err != nil {
+		return nil, err
+	}
+	rep, err = ml.TuneLambda(train, val, s.Opts.Lambdas)
+	if err != nil {
+		return nil, fmt.Errorf("core: training %v: %w", kind, err)
+	}
+	s.mu.Lock()
+	if prev, ok := s.trained[kind]; ok {
+		rep = prev
+	} else {
+		s.trained[kind] = rep
+	}
+	s.mu.Unlock()
+	return rep, nil
+}
+
+// TrainAll trains the three ML models.
+func (s *Suite) TrainAll() error {
+	for _, k := range MLKinds {
+		if _, err := s.Train(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TrainedModel returns the best trained ridge model of a kind (nil if the
+// kind is not ML or not yet trained).
+func (s *Suite) TrainedModel(kind ModelKind) *ml.Ridge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rep, ok := s.trained[kind]; ok {
+		return rep.Best
+	}
+	return nil
+}
+
+// SetTrainedModel installs an externally trained model (e.g. loaded from
+// a weights file written by cmd/train).
+func (s *Suite) SetTrainedModel(kind ModelKind, m *ml.Ridge) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trained[kind] = &ml.TrainReport{Best: m}
+}
+
+// RunTrace runs one model kind over an explicit trace.
+func (s *Suite) RunTrace(kind ModelKind, t *traffic.Trace) (*sim.Result, error) {
+	spec, err := s.Spec(kind)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.Config{
+		Topo:       s.Topo,
+		Spec:       spec,
+		Trace:      t,
+		VCs:        s.Opts.VCs,
+		Depth:      s.Opts.Depth,
+		Pipeline:   s.Opts.Pipeline,
+		LinkTicks:  s.Opts.LinkTicks,
+		EpochTicks: s.Opts.EpochTicks,
+	})
+}
+
+// RunBenchmark runs one model kind over a named benchmark, compressed by
+// factor (1 = uncompressed).
+func (s *Suite) RunBenchmark(kind ModelKind, bench string, factor int64) (*sim.Result, error) {
+	t, err := s.TraceCompressed(bench, factor)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunTrace(kind, t)
+}
+
+// Comparison holds all five models' results on one workload.
+type Comparison struct {
+	Bench   string
+	Factor  int64
+	Results map[ModelKind]*sim.Result
+}
+
+// Compare runs all five models over a benchmark at a compression factor.
+// ML models must be trained first.
+func (s *Suite) Compare(bench string, factor int64) (*Comparison, error) {
+	c := &Comparison{Bench: bench, Factor: factor, Results: make(map[ModelKind]*sim.Result)}
+	for _, k := range AllKinds {
+		res, err := s.RunBenchmark(k, bench, factor)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v on %s: %w", k, bench, err)
+		}
+		c.Results[k] = res
+	}
+	return c, nil
+}
+
+// Relative compares a model's result against the baseline's on the same
+// workload: throughput and latency ratios plus normalized energies.
+type Relative struct {
+	Kind             ModelKind
+	ThroughputRatio  float64 // model/baseline (1.0 = no loss)
+	LatencyRatio     float64
+	StaticNorm       float64 // static energy normalized to baseline
+	DynamicNorm      float64
+	StaticSavings    float64 // 1 - StaticNorm
+	DynamicSavings   float64
+	EDPNorm          float64 // energy-delay product normalized to baseline
+	OffFraction      float64
+	BreakevenMetFrac float64
+}
+
+// Relatives normalizes every model in a comparison to its baseline.
+func (c *Comparison) Relatives() []Relative {
+	base := c.Results[KindBaseline]
+	out := make([]Relative, 0, len(AllKinds))
+	for _, k := range AllKinds {
+		r := c.Results[k]
+		rel := Relative{Kind: k, OffFraction: r.OffFraction}
+		if base.Throughput > 0 {
+			rel.ThroughputRatio = r.Throughput / base.Throughput
+		}
+		if base.AvgLatencyTicks > 0 {
+			rel.LatencyRatio = r.AvgLatencyTicks / base.AvgLatencyTicks
+		}
+		if base.StaticJ > 0 {
+			rel.StaticNorm = r.StaticJ / base.StaticJ
+			rel.StaticSavings = 1 - rel.StaticNorm
+		}
+		if base.DynamicJ > 0 {
+			rel.DynamicNorm = r.DynamicJ / base.DynamicJ
+			rel.DynamicSavings = 1 - rel.DynamicNorm
+		}
+		if e := base.EDP(); e > 0 {
+			rel.EDPNorm = r.EDP() / e
+		}
+		if r.Policy.Wakes > 0 {
+			rel.BreakevenMetFrac = float64(r.Policy.BreakevenMet) / float64(r.Policy.Wakes)
+		}
+		out = append(out, rel)
+	}
+	return out
+}
+
+// HarvestParallel pre-populates the reactive datasets of the given ML
+// kinds over the given traces using up to GOMAXPROCS workers; each
+// harvest is an independent, deterministic simulation. Subsequent Train
+// calls then hit the cache.
+func (s *Suite) HarvestParallel(kinds []ModelKind, traces []string) error {
+	type job struct {
+		kind  ModelKind
+		trace string
+	}
+	var jobs []job
+	for _, k := range kinds {
+		for _, tr := range traces {
+			jobs = append(jobs, job{k, tr})
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		return nil
+	}
+	ch := make(chan job)
+	errs := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				if _, err := s.Dataset(j.kind, j.trace); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}
+
+// TrainAllParallel harvests every training/validation dataset in
+// parallel, then runs the (fast) lambda sweeps.
+func (s *Suite) TrainAllParallel() error {
+	var names []string
+	for _, p := range traffic.ProfilesBySplit(traffic.Train) {
+		names = append(names, p.Name)
+	}
+	for _, p := range traffic.ProfilesBySplit(traffic.Validation) {
+		names = append(names, p.Name)
+	}
+	if err := s.HarvestParallel(MLKinds, names); err != nil {
+		return err
+	}
+	return s.TrainAll()
+}
+
+// CompareParallel runs the five models concurrently over one workload.
+// Results are identical to Compare (each simulation is isolated and
+// deterministic); only wall-clock differs on multicore hosts.
+func (s *Suite) CompareParallel(bench string, factor int64) (*Comparison, error) {
+	t, err := s.TraceCompressed(bench, factor)
+	if err != nil {
+		return nil, err
+	}
+	c := &Comparison{Bench: bench, Factor: factor, Results: make(map[ModelKind]*sim.Result)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, len(AllKinds))
+	for _, k := range AllKinds {
+		spec, err := s.Spec(k) // fresh selector state per spec
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(kind ModelKind, spec policy.Spec) {
+			defer wg.Done()
+			res, err := sim.Run(sim.Config{
+				Topo:       s.Topo,
+				Spec:       spec,
+				Trace:      t,
+				VCs:        s.Opts.VCs,
+				Depth:      s.Opts.Depth,
+				Pipeline:   s.Opts.Pipeline,
+				LinkTicks:  s.Opts.LinkTicks,
+				EpochTicks: s.Opts.EpochTicks,
+			})
+			if err != nil {
+				errs <- fmt.Errorf("core: %v on %s: %w", kind, bench, err)
+				return
+			}
+			mu.Lock()
+			c.Results[kind] = res
+			mu.Unlock()
+		}(k, spec)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WeightsFileName returns the conventional weights-file name for an ML
+// kind (what cmd/train writes).
+func WeightsFileName(kind ModelKind) (string, error) {
+	switch kind {
+	case KindLEAD:
+		return "lead.weights.json", nil
+	case KindDozzNoC:
+		return "dozznoc.weights.json", nil
+	case KindTurbo:
+		return "turbo.weights.json", nil
+	}
+	return "", fmt.Errorf("core: %v has no weights file", kind)
+}
+
+// SaveTrainedModels writes every trained model to dir using the
+// conventional file names.
+func (s *Suite) SaveTrainedModels(dir string) error {
+	for _, k := range MLKinds {
+		m := s.TrainedModel(k)
+		if m == nil {
+			continue
+		}
+		name, err := WeightsFileName(k)
+		if err != nil {
+			return err
+		}
+		if err := ml.SaveModel(filepath.Join(dir, name), m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadTrainedModels loads every conventional weights file present in dir
+// (missing files are skipped) and returns how many models were installed.
+func (s *Suite) LoadTrainedModels(dir string) (int, error) {
+	loaded := 0
+	for _, k := range MLKinds {
+		name, err := WeightsFileName(k)
+		if err != nil {
+			return loaded, err
+		}
+		path := filepath.Join(dir, name)
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		m, err := ml.LoadModel(path)
+		if err != nil {
+			return loaded, err
+		}
+		s.SetTrainedModel(k, m)
+		loaded++
+	}
+	return loaded, nil
+}

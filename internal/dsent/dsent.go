@@ -1,0 +1,159 @@
+// Package dsent is a compact analytical router/link energy model in the
+// spirit of DSENT (Sun et al., NOCS 2012), the tool the paper used to
+// obtain Table V. It derives per-hop dynamic energy and per-router static
+// power from technology and microarchitecture parameters instead of
+// hard-coding them, and its 22 nm calibration reproduces Table V:
+//
+//   - dynamic energy scales as V² (CV² switching), so Table V's pJ/hop
+//     column is exactly 56.5 · (V/1.2)²;
+//   - leakage power scales linearly with V over this narrow near-threshold
+//     range, so the static column is exactly 0.054 · (V/1.2).
+//
+// The component breakdown (buffers, crossbar, allocators, clock, link)
+// follows DSENT's structure with lumped capacitance coefficients fitted
+// to the paper's concentrated-mesh worst-case router at 22 nm with
+// 128-bit flits.
+package dsent
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tech holds lumped technology parameters.
+type Tech struct {
+	Name string
+	// Vnom is the nominal supply the capacitance coefficients are
+	// quoted at.
+	Vnom float64
+	// SRAMBitFF is the effective switched capacitance per SRAM bit
+	// access (read or write), in femtofarads.
+	SRAMBitFF float64
+	// XbarBitFF is the effective crossbar capacitance per bit per
+	// (input+output) port pair traversed.
+	XbarBitFF float64
+	// WireFFPerMM is link wire capacitance per bit per millimetre.
+	WireFFPerMM float64
+	// CtlFF is the lumped control capacitance (allocators, pipeline
+	// registers, clocking) switched per flit.
+	CtlFF float64
+	// LeakUWPerBit is leakage power per buffered SRAM bit at Vnom, in
+	// microwatts.
+	LeakUWPerBit float64
+	// LeakMWPerPort is leakage of the per-port datapath, crossbar
+	// drivers, allocation and clock tree at Vnom, in milliwatts.
+	LeakMWPerPort float64
+}
+
+// Tech22 is the 22 nm calibration. The coefficients are fitted so the
+// paper's Table V router (see PaperRouter) lands on 56.5 pJ/hop and
+// 0.054 W at 1.2 V, with a component split in DSENT's usual proportions
+// (link ~35%, crossbar ~25%, buffering ~29%, control ~11%).
+var Tech22 = Tech{
+	Name:          "22nm",
+	Vnom:          1.2,
+	SRAMBitFF:     97.66,  // buffer write 9.0 pJ (read 0.8x) at 1.2 V
+	XbarBitFF:     53.71,  // crossbar 14.0 pJ at 1.2 V, 8-port router
+	WireFFPerMM:   217.01, // 1 mm link 20.0 pJ at 1.2 V
+	CtlFF:         4375.0, // allocators + pipeline + clock 6.3 pJ
+	LeakUWPerBit:  0.9766, // 8.0 mW over 8192 buffered bits
+	LeakMWPerPort: 5.75,   // 46 mW over 8 ports
+}
+
+// RouterParams sizes the modeled router and its outgoing link.
+type RouterParams struct {
+	Ports    int
+	VCs      int
+	Depth    int // flits per VC
+	FlitBits int
+	LinkMM   float64 // outgoing link length
+	// ActivityFactor is the average switching probability per bit
+	// (0.5 for random data).
+	ActivityFactor float64
+}
+
+// PaperRouter is the paper's worst-case router: the concentrated-mesh
+// configuration (8 ports: 4 cores + 4 cardinals) with 128-bit flits and a
+// 1 mm inter-router link, which Table V uses for all latency/power costs.
+func PaperRouter() RouterParams {
+	return RouterParams{Ports: 8, VCs: 2, Depth: 4, FlitBits: 128, LinkMM: 1.0, ActivityFactor: 0.5}
+}
+
+// Model combines technology and router parameters.
+type Model struct {
+	Tech   Tech
+	Router RouterParams
+}
+
+// New builds a model, validating the parameters.
+func New(t Tech, r RouterParams) (Model, error) {
+	switch {
+	case r.Ports < 2 || r.VCs < 1 || r.Depth < 1 || r.FlitBits < 1:
+		return Model{}, fmt.Errorf("dsent: bad router params %+v", r)
+	case r.LinkMM < 0 || r.ActivityFactor <= 0 || r.ActivityFactor > 1:
+		return Model{}, fmt.Errorf("dsent: bad link/activity params %+v", r)
+	case t.Vnom <= 0:
+		return Model{}, fmt.Errorf("dsent: bad tech %+v", t)
+	}
+	return Model{Tech: t, Router: r}, nil
+}
+
+// Calibrated returns the Table V model (22 nm, paper router). It panics
+// only on programmer error.
+func Calibrated() Model {
+	m, err := New(Tech22, PaperRouter())
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Components is the per-hop dynamic energy breakdown in picojoules.
+type Components struct {
+	BufferWrite float64
+	BufferRead  float64
+	Crossbar    float64
+	Control     float64
+	Link        float64
+}
+
+// Total sums the breakdown.
+func (c Components) Total() float64 {
+	return c.BufferWrite + c.BufferRead + c.Crossbar + c.Control + c.Link
+}
+
+// DynamicBreakdown returns the per-hop component energies at supply v.
+// Energy is a·C·V² per switched capacitance (a = activity factor for the
+// datapath, 1 for control).
+func (m Model) DynamicBreakdown(v float64) Components {
+	r, t := m.Router, m.Tech
+	bits := float64(r.FlitBits)
+	a := r.ActivityFactor
+	// fF * V^2 -> fJ; /1000 -> pJ.
+	e := func(capFF float64, act float64) float64 {
+		return capFF * v * v * act / 1000.0
+	}
+	xbarCap := t.XbarBitFF * bits * math.Sqrt(float64(r.Ports))
+	return Components{
+		BufferWrite: e(t.SRAMBitFF*bits, a),
+		BufferRead:  e(t.SRAMBitFF*bits*0.8, a), // reads switch less (no bitline full swing)
+		Crossbar:    e(xbarCap, a),
+		Control:     e(t.CtlFF, 1),
+		Link:        e(t.WireFFPerMM*bits*r.LinkMM, a),
+	}
+}
+
+// DynamicPJPerHop returns total per-hop dynamic energy at supply v.
+func (m Model) DynamicPJPerHop(v float64) float64 {
+	return m.DynamicBreakdown(v).Total()
+}
+
+// StaticWatts returns router+link leakage at supply v. Over the paper's
+// 0.8-1.2 V window leakage is modeled linear in V (the V·I_leak product
+// with weak DIBL dependence folded into the coefficient).
+func (m Model) StaticWatts(v float64) float64 {
+	r, t := m.Router, m.Tech
+	bufferBits := float64(r.Ports * r.VCs * r.Depth * r.FlitBits)
+	atNom := bufferBits*t.LeakUWPerBit*1e-6 + float64(r.Ports)*t.LeakMWPerPort*1e-3
+	return atNom * v / t.Vnom
+}

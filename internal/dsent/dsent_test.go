@@ -1,0 +1,124 @@
+package dsent
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/power"
+)
+
+func TestCalibratedMatchesTableV(t *testing.T) {
+	// The derived model must land on the paper's Table V (within its
+	// printed rounding) at every V/F point.
+	m := Calibrated()
+	for _, p := range power.Table {
+		dyn := m.DynamicPJPerHop(p.Volts)
+		if math.Abs(dyn-p.DynamicPJHop)/p.DynamicPJHop > 0.005 {
+			t.Errorf("%.1fV: derived %.2f pJ/hop, Table V says %.1f", p.Volts, dyn, p.DynamicPJHop)
+		}
+		st := m.StaticWatts(p.Volts)
+		if math.Abs(st-p.StaticWatts)/p.StaticWatts > 0.015 {
+			t.Errorf("%.1fV: derived %.4f W, Table V says %.3f", p.Volts, st, p.StaticWatts)
+		}
+	}
+}
+
+func TestDynamicScalesAsVSquared(t *testing.T) {
+	m := Calibrated()
+	base := m.DynamicPJPerHop(1.2)
+	for _, v := range []float64{0.8, 0.9, 1.0, 1.1} {
+		want := base * (v / 1.2) * (v / 1.2)
+		if math.Abs(m.DynamicPJPerHop(v)-want) > 1e-9 {
+			t.Errorf("dynamic at %gV violates CV² scaling", v)
+		}
+	}
+}
+
+func TestStaticScalesLinearly(t *testing.T) {
+	m := Calibrated()
+	base := m.StaticWatts(1.2)
+	for _, v := range []float64{0.8, 0.9, 1.0, 1.1} {
+		want := base * v / 1.2
+		if math.Abs(m.StaticWatts(v)-want) > 1e-12 {
+			t.Errorf("static at %gV violates linear scaling", v)
+		}
+	}
+}
+
+func TestBreakdownSums(t *testing.T) {
+	m := Calibrated()
+	c := m.DynamicBreakdown(1.0)
+	if math.Abs(c.Total()-m.DynamicPJPerHop(1.0)) > 1e-12 {
+		t.Fatal("breakdown does not sum to the total")
+	}
+	for _, part := range []float64{c.BufferWrite, c.BufferRead, c.Crossbar, c.Control, c.Link} {
+		if part <= 0 {
+			t.Fatal("every component must contribute")
+		}
+	}
+	// DSENT's usual structure: the link dominates a 1 mm hop; reads cost
+	// less than writes.
+	if c.Link <= c.Crossbar || c.BufferRead >= c.BufferWrite {
+		t.Errorf("unexpected component proportions: %+v", c)
+	}
+}
+
+func TestMeshRouterCheaper(t *testing.T) {
+	// A 5-port mesh router (smaller crossbar) must cost less than the
+	// paper's 8-port cmesh worst case — the reason the paper uses cmesh
+	// costs as the bound.
+	mesh := PaperRouter()
+	mesh.Ports = 5
+	m, err := New(Tech22, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := Calibrated()
+	if m.DynamicPJPerHop(1.2) >= cm.DynamicPJPerHop(1.2) {
+		t.Error("5-port router should switch less energy than 8-port")
+	}
+	if m.StaticWatts(1.2) >= cm.StaticWatts(1.2) {
+		t.Error("5-port router should leak less than 8-port")
+	}
+}
+
+func TestParameterValidation(t *testing.T) {
+	bad := []RouterParams{
+		{Ports: 1, VCs: 2, Depth: 4, FlitBits: 128, LinkMM: 1, ActivityFactor: 0.5},
+		{Ports: 5, VCs: 0, Depth: 4, FlitBits: 128, LinkMM: 1, ActivityFactor: 0.5},
+		{Ports: 5, VCs: 2, Depth: 0, FlitBits: 128, LinkMM: 1, ActivityFactor: 0.5},
+		{Ports: 5, VCs: 2, Depth: 4, FlitBits: 0, LinkMM: 1, ActivityFactor: 0.5},
+		{Ports: 5, VCs: 2, Depth: 4, FlitBits: 128, LinkMM: -1, ActivityFactor: 0.5},
+		{Ports: 5, VCs: 2, Depth: 4, FlitBits: 128, LinkMM: 1, ActivityFactor: 0},
+		{Ports: 5, VCs: 2, Depth: 4, FlitBits: 128, LinkMM: 1, ActivityFactor: 1.5},
+	}
+	for i, r := range bad {
+		if _, err := New(Tech22, r); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if _, err := New(Tech{}, PaperRouter()); err == nil {
+		t.Error("zero tech accepted")
+	}
+}
+
+func TestMonotoneInParametersProperty(t *testing.T) {
+	// Energy grows with flit width, ports and link length.
+	f := func(seed uint8) bool {
+		base := PaperRouter()
+		m1, _ := New(Tech22, base)
+		wide := base
+		wide.FlitBits *= 2
+		m2, _ := New(Tech22, wide)
+		long := base
+		long.LinkMM *= 2
+		m3, _ := New(Tech22, long)
+		v := 0.8 + float64(seed%5)*0.1
+		return m2.DynamicPJPerHop(v) > m1.DynamicPJPerHop(v) &&
+			m3.DynamicPJPerHop(v) > m1.DynamicPJPerHop(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out. They use
+// the reactive selector (no trained model needed), since the knobs under
+// study — T-Idle, the wake-punch horizon — act on the power-gating loop,
+// not the predictor.
+
+// TIdleRow is the outcome of one T-Idle setting.
+type TIdleRow struct {
+	TIdle          int
+	StaticSavings  float64
+	LatencyRatio   float64
+	Gatings        int64
+	BreakevenFrac  float64
+	WakeupFraction float64
+}
+
+// TIdleSweepResult sweeps the consecutive-idle-cycle gating threshold.
+type TIdleSweepResult struct {
+	Bench string
+	Rows  []TIdleRow
+}
+
+// TIdleSweep reruns the reactive DozzNoC model on one benchmark with
+// several T-Idle values (the paper adopts 4 from Catnap and argues small
+// values cause congestion/breakeven misses while large ones forgo
+// savings).
+func TIdleSweep(topo topology.Topology, bench string, horizon int64, tidles []int) (*TIdleSweepResult, error) {
+	p, ok := traffic.ProfileByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown benchmark %q", bench)
+	}
+	g := traffic.Generator{Topo: topo, Horizon: horizon, Seed: 1}
+	tr := g.Generate(p)
+
+	base, err := sim.Run(sim.Config{Topo: topo, Spec: policy.Baseline(), Trace: tr})
+	if err != nil {
+		return nil, err
+	}
+	out := &TIdleSweepResult{Bench: bench}
+	for _, ti := range tidles {
+		spec := policy.DozzNoC(policy.ReactiveSelector{})
+		spec.TIdle = ti
+		res, err := sim.Run(sim.Config{Topo: topo, Spec: spec, Trace: tr})
+		if err != nil {
+			return nil, err
+		}
+		row := TIdleRow{
+			TIdle:          ti,
+			Gatings:        res.Policy.Gatings,
+			WakeupFraction: res.WakeupFraction,
+		}
+		if base.StaticJ > 0 {
+			row.StaticSavings = 1 - res.StaticJ/base.StaticJ
+		}
+		if base.AvgLatencyTicks > 0 {
+			row.LatencyRatio = res.AvgLatencyTicks / base.AvgLatencyTicks
+		}
+		if res.Policy.Wakes > 0 {
+			row.BreakevenFrac = float64(res.Policy.BreakevenMet) / float64(res.Policy.Wakes)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Write renders the sweep.
+func (r *TIdleSweepResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "T-Idle sweep, reactive DozzNoC on %s\n", r.Bench)
+	fmt.Fprintf(w, "%-8s %12s %10s %10s %12s %10s\n",
+		"T-Idle", "static-sav", "lat-ratio", "gatings", "breakeven", "wake-frac")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8d %11.1f%% %10.3f %10d %11.1f%% %10.3f\n",
+			row.TIdle, 100*row.StaticSavings, row.LatencyRatio, row.Gatings,
+			100*row.BreakevenFrac, row.WakeupFraction)
+	}
+}
+
+// PunchRow is one wake-punch-horizon setting.
+type PunchRow struct {
+	PunchHops     int // -1 = whole path, 0 = none beyond head-accept wakes
+	StaticSavings float64
+	LatencyRatio  float64
+	TputRatio     float64
+}
+
+// PunchSweepResult sweeps the injection-time wake-punch horizon.
+type PunchSweepResult struct {
+	Bench string
+	Rows  []PunchRow
+}
+
+// PunchSweep measures how far ahead wake punches must travel: none (heads
+// wake the next hop only), k hops, or the whole XY path (Power Punch
+// style). Less punching saves slightly more static power but serializes
+// wakeups into packet latency.
+func PunchSweep(topo topology.Topology, bench string, horizon int64, hops []int) (*PunchSweepResult, error) {
+	p, ok := traffic.ProfileByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown benchmark %q", bench)
+	}
+	g := traffic.Generator{Topo: topo, Horizon: horizon, Seed: 1}
+	tr := g.Generate(p)
+	base, err := sim.Run(sim.Config{Topo: topo, Spec: policy.Baseline(), Trace: tr})
+	if err != nil {
+		return nil, err
+	}
+	out := &PunchSweepResult{Bench: bench}
+	for _, h := range hops {
+		cfg := sim.Config{Topo: topo, Spec: policy.PowerGated(), Trace: tr}
+		if h == 0 {
+			cfg.NoPathPunch = true
+		} else {
+			cfg.PunchHops = h
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := PunchRow{PunchHops: h}
+		if base.StaticJ > 0 {
+			row.StaticSavings = 1 - res.StaticJ/base.StaticJ
+		}
+		if base.AvgLatencyTicks > 0 {
+			row.LatencyRatio = res.AvgLatencyTicks / base.AvgLatencyTicks
+		}
+		if base.Throughput > 0 {
+			row.TputRatio = res.Throughput / base.Throughput
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Write renders the sweep.
+func (r *PunchSweepResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "Wake-punch horizon sweep, PG on %s (-1 = whole path, 0 = next-hop only)\n", r.Bench)
+	fmt.Fprintf(w, "%-8s %12s %10s %10s\n", "hops", "static-sav", "lat-ratio", "tput-ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8d %11.1f%% %10.3f %10.3f\n",
+			row.PunchHops, 100*row.StaticSavings, row.LatencyRatio, row.TputRatio)
+	}
+}
+
+// FeatureCountRow is one feature-subset model.
+type FeatureCountRow struct {
+	Label    string
+	Features int
+	ValMSE   float64
+	TestAcc  float64
+	EnergyPJ float64
+}
+
+// FeatureCountResult is the 5-vs-fewer-features ablation backing the
+// paper's claim that the reduced set loses nothing (§IV-B1).
+type FeatureCountResult struct{ Rows []FeatureCountRow }
+
+// FeatureCountAblation trains DozzNoC ridge models on growing feature
+// subsets and reports validation MSE, test mode-selection accuracy and
+// the per-label energy cost of each subset.
+func FeatureCountAblation(s *core.Suite) (*FeatureCountResult, error) {
+	train, err := s.MergedDataset(core.KindDozzNoC, traffic.Train)
+	if err != nil {
+		return nil, err
+	}
+	val, err := s.MergedDataset(core.KindDozzNoC, traffic.Validation)
+	if err != nil {
+		return nil, err
+	}
+	subsets := []struct {
+		label string
+		cols  []int
+	}{
+		{"ibu-only", []int{0, 4}},
+		{"ibu+sent", []int{0, 1, 4}},
+		{"ibu+sent+recv", []int{0, 1, 2, 4}},
+		{"all-5", []int{0, 1, 2, 3, 4}},
+	}
+	modeOf := func(v float64) int { return int(policy.ModeForIBU(v)) }
+	out := &FeatureCountResult{}
+	for _, sub := range subsets {
+		rep, err := ml.TuneLambda(train.Columns(sub.cols...), val.Columns(sub.cols...), s.Opts.Lambdas)
+		if err != nil {
+			return nil, fmt.Errorf("exp: feature ablation %s: %w", sub.label, err)
+		}
+		acc, n := 0.0, 0
+		for _, bench := range TestBenchNames() {
+			ds, err := s.Dataset(core.KindDozzNoC, bench)
+			if err != nil {
+				return nil, err
+			}
+			c := ds.Columns(sub.cols...)
+			acc += ml.ModeAccuracy(rep.Best.PredictAll(c.X), c.Y, modeOf)
+			n++
+		}
+		out.Rows = append(out.Rows, FeatureCountRow{
+			Label:    sub.label,
+			Features: len(sub.cols),
+			ValMSE:   rep.BestVal.ValMSE,
+			TestAcc:  acc / float64(n),
+			EnergyPJ: ml.LabelOverhead(len(sub.cols)).EnergyPJ,
+		})
+	}
+	return out, nil
+}
+
+// Write renders the ablation.
+func (r *FeatureCountResult) Write(w io.Writer) {
+	fmt.Fprintln(w, "Feature-count ablation (DozzNoC ridge models)")
+	fmt.Fprintf(w, "%-16s %10s %12s %10s %10s\n", "subset", "features", "val-MSE", "test-acc", "label-pJ")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %10d %12.3e %10.3f %10.1f\n",
+			row.Label, row.Features, row.ValMSE, row.TestAcc, row.EnergyPJ)
+	}
+}
+
+// GlobalDVFSRow compares per-router vs globally coordinated DVFS on one
+// benchmark.
+type GlobalDVFSRow struct {
+	Bench          string
+	LocalStatic    float64 // savings vs baseline
+	GlobalStatic   float64
+	LocalDynamic   float64
+	GlobalDynamic  float64
+	LocalLatRatio  float64
+	GlobalLatRatio float64
+}
+
+// GlobalDVFSResult quantifies DozzNoC's per-router-domain argument.
+type GlobalDVFSResult struct{ Rows []GlobalDVFSRow }
+
+// GlobalDVFS runs the DVFS-only model with per-router (local) mode
+// selection against a globally coordinated variant where every router
+// adopts the network-wide maximum requested mode — quantifying the
+// paper's argument that per-router voltage domains (enabled by the
+// per-router SIMO/LDO supplies) save energy that global coordination
+// wastes on idle regions.
+func GlobalDVFS(topo topology.Topology, horizon int64, benches []string) (*GlobalDVFSResult, error) {
+	if len(benches) == 0 {
+		benches = TestBenchNames()
+	}
+	out := &GlobalDVFSResult{}
+	for _, bench := range benches {
+		p, ok := traffic.ProfileByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("exp: unknown benchmark %q", bench)
+		}
+		g := traffic.Generator{Topo: topo, Horizon: horizon, Seed: 1}
+		tr := g.Generate(p)
+		base, err := sim.Run(sim.Config{Topo: topo, Spec: policy.Baseline(), Trace: tr})
+		if err != nil {
+			return nil, err
+		}
+		local, err := sim.Run(sim.Config{Topo: topo, Spec: policy.DVFSML(policy.ReactiveSelector{}), Trace: tr})
+		if err != nil {
+			return nil, err
+		}
+		gspec := policy.DVFSML(policy.NewGlobalSelector(policy.ReactiveSelector{}))
+		gspec.Name = "DVFS-global"
+		global, err := sim.Run(sim.Config{Topo: topo, Spec: gspec, Trace: tr})
+		if err != nil {
+			return nil, err
+		}
+		row := GlobalDVFSRow{Bench: bench}
+		if base.StaticJ > 0 {
+			row.LocalStatic = 1 - local.StaticJ/base.StaticJ
+			row.GlobalStatic = 1 - global.StaticJ/base.StaticJ
+		}
+		if base.DynamicJ > 0 {
+			row.LocalDynamic = 1 - local.DynamicJ/base.DynamicJ
+			row.GlobalDynamic = 1 - global.DynamicJ/base.DynamicJ
+		}
+		if base.AvgLatencyTicks > 0 {
+			row.LocalLatRatio = local.AvgLatencyTicks / base.AvgLatencyTicks
+			row.GlobalLatRatio = global.AvgLatencyTicks / base.AvgLatencyTicks
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Write renders the comparison.
+func (r *GlobalDVFSResult) Write(w io.Writer) {
+	fmt.Fprintln(w, "Per-router vs globally coordinated DVFS (reactive selectors)")
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s %10s %10s\n",
+		"bench", "stat-loc", "stat-glob", "dyn-loc", "dyn-glob", "lat-loc", "lat-glob")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %9.1f%% %9.1f%% %9.1f%% %9.1f%% %10.3f %10.3f\n",
+			row.Bench, 100*row.LocalStatic, 100*row.GlobalStatic,
+			100*row.LocalDynamic, 100*row.GlobalDynamic,
+			row.LocalLatRatio, row.GlobalLatRatio)
+	}
+}

@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/mcsim"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Closed-loop full-system experiment: instead of replaying traces, run
+// the mcsim multicore model (cores stall on MSHRs, so network slowdown
+// stretches application runtime) under every power-management model.
+// The application slowdown is the closed-loop analogue of the paper's
+// throughput loss, and with the reactive selectors it reproduces the
+// §IV-B2 numbers strikingly well (see EXPERIMENTS.md).
+
+// ClosedLoopRow is one model's end-to-end outcome.
+type ClosedLoopRow struct {
+	Model          string
+	Ticks          int64
+	Slowdown       float64 // runtime vs baseline
+	StaticSavings  float64
+	DynamicSavings float64
+	OffFraction    float64
+	StalledTicks   int64
+}
+
+// ClosedLoopResult holds all five models.
+type ClosedLoopResult struct {
+	Rows []ClosedLoopRow
+}
+
+// ClosedLoop runs the five models over the same multicore workload.
+func ClosedLoop(topo topology.Topology, params mcsim.SystemParams) (*ClosedLoopResult, error) {
+	specs := []policy.Spec{
+		policy.Baseline(),
+		policy.PowerGated(),
+		policy.DVFSML(policy.ReactiveSelector{}),
+		policy.DozzNoC(policy.ReactiveSelector{}),
+		policy.MLTurbo(policy.ReactiveSelector{}, topo.NumRouters()),
+	}
+	out := &ClosedLoopResult{}
+	var base *sim.Result
+	for _, spec := range specs {
+		w, err := mcsim.New(params)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(sim.Config{Topo: topo, Spec: spec, Workload: w})
+		if err != nil {
+			return nil, fmt.Errorf("exp: closed loop %s: %w", spec.Name, err)
+		}
+		if !res.Drained {
+			return nil, fmt.Errorf("exp: closed loop %s did not finish", spec.Name)
+		}
+		if base == nil {
+			base = res
+		}
+		row := ClosedLoopRow{
+			Model:        res.Model,
+			Ticks:        res.Ticks,
+			Slowdown:     float64(res.Ticks) / float64(base.Ticks),
+			OffFraction:  res.OffFraction,
+			StalledTicks: w.Stats().StalledTicks,
+		}
+		if base.StaticJ > 0 {
+			row.StaticSavings = 1 - res.StaticJ/base.StaticJ
+		}
+		if base.DynamicJ > 0 {
+			row.DynamicSavings = 1 - res.DynamicJ/base.DynamicJ
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Write renders the table.
+func (r *ClosedLoopResult) Write(w io.Writer) {
+	fmt.Fprintln(w, "Closed-loop full-system comparison (mcsim multicore workload)")
+	fmt.Fprintf(w, "%-10s %10s %10s %12s %12s %10s\n",
+		"model", "slowdown", "static-sav", "dyn-sav", "stall-ticks", "off-frac")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %10.3f %9.1f%% %11.1f%% %12d %10.3f\n",
+			row.Model, row.Slowdown, 100*row.StaticSavings, 100*row.DynamicSavings,
+			row.StalledTicks, row.OffFraction)
+	}
+}
+
+// ClosedLoopSweepRow aggregates one model across benchmark-derived
+// closed-loop workloads.
+type ClosedLoopSweepRow struct {
+	Model          string
+	AvgSlowdown    float64
+	AvgStaticSav   float64
+	AvgDynamicSav  float64
+	AvgOffFraction float64
+}
+
+// ClosedLoopSweepResult averages the closed-loop comparison across
+// benchmark presets.
+type ClosedLoopSweepResult struct {
+	Benches []string
+	Rows    []ClosedLoopSweepRow
+}
+
+// ClosedLoopSweep runs the closed-loop comparison on mcsim configurations
+// derived from each named benchmark profile (defaults: the five test
+// benchmarks) and averages the outcomes — the closed-loop analogue of the
+// §IV-B2 headline protocol.
+func ClosedLoopSweep(topo topology.Topology, benches []string, instructions int64) (*ClosedLoopSweepResult, error) {
+	if len(benches) == 0 {
+		benches = TestBenchNames()
+	}
+	if instructions <= 0 {
+		instructions = 100_000
+	}
+	acc := map[string]*ClosedLoopSweepRow{}
+	var order []string
+	for _, bench := range benches {
+		params, err := mcsim.ParamsForBenchmark(topo, bench, instructions)
+		if err != nil {
+			return nil, err
+		}
+		res, err := ClosedLoop(topo, params)
+		if err != nil {
+			return nil, fmt.Errorf("exp: closed-loop sweep on %s: %w", bench, err)
+		}
+		for _, row := range res.Rows {
+			a, ok := acc[row.Model]
+			if !ok {
+				a = &ClosedLoopSweepRow{Model: row.Model}
+				acc[row.Model] = a
+				order = append(order, row.Model)
+			}
+			a.AvgSlowdown += row.Slowdown
+			a.AvgStaticSav += row.StaticSavings
+			a.AvgDynamicSav += row.DynamicSavings
+			a.AvgOffFraction += row.OffFraction
+		}
+	}
+	out := &ClosedLoopSweepResult{Benches: benches}
+	n := float64(len(benches))
+	for _, m := range order {
+		a := acc[m]
+		out.Rows = append(out.Rows, ClosedLoopSweepRow{
+			Model:          a.Model,
+			AvgSlowdown:    a.AvgSlowdown / n,
+			AvgStaticSav:   a.AvgStaticSav / n,
+			AvgDynamicSav:  a.AvgDynamicSav / n,
+			AvgOffFraction: a.AvgOffFraction / n,
+		})
+	}
+	return out, nil
+}
+
+// Write renders the sweep averages.
+func (r *ClosedLoopSweepResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "Closed-loop sweep averages over %d benchmark presets\n", len(r.Benches))
+	fmt.Fprintf(w, "%-10s %10s %12s %12s %10s\n", "model", "slowdown", "static-sav", "dyn-sav", "off-frac")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %10.3f %11.1f%% %11.1f%% %10.3f\n",
+			row.Model, row.AvgSlowdown, 100*row.AvgStaticSav, 100*row.AvgDynamicSav, row.AvgOffFraction)
+	}
+}

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/power"
+)
+
+// Machine-readable exports: the headline, Fig 7 and Fig 8 results as CSV,
+// for plotting the paper's bar charts from raw runs.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// WriteCSV exports the headline rows.
+func (h *HeadlineResult) WriteCSV(w io.Writer) error {
+	header := []string{"topology", "model", "static_savings", "dynamic_savings", "tput_loss", "lat_increase", "off_fraction"}
+	var rows [][]string
+	add := func(topo string, r HeadlineRow) {
+		rows = append(rows, []string{
+			topo, r.Kind.String(), ftoa(r.StaticSavings), ftoa(r.DynamicSavings),
+			ftoa(r.TputLoss), ftoa(r.LatIncrease), ftoa(r.OffFraction),
+		})
+	}
+	for _, r := range h.Mesh {
+		add("mesh8x8", r)
+	}
+	if h.CMesh != nil {
+		add("cmesh4x4", *h.CMesh)
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV exports the Fig 7 mode distributions.
+func (f *Fig7Result) WriteCSV(w io.Writer) error {
+	header := []string{"model", "bench", "m3", "m4", "m5", "m6", "m7"}
+	var rows [][]string
+	for _, kind := range core.MLKinds {
+		for _, d := range f.Models[kind] {
+			row := []string{kind.String(), d.Bench}
+			for i := 0; i < power.NumActiveModes; i++ {
+				row = append(row, ftoa(d.Share[i]))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV exports the Fig 8 rows (both compressions).
+func (f *Fig8Result) WriteCSV(w io.Writer) error {
+	header := []string{"compressed", "bench", "model", "throughput", "tput_ratio", "lat_ratio", "static_norm", "dynamic_norm"}
+	var rows [][]string
+	add := func(compressed string, rs []Fig8Row) {
+		for _, r := range rs {
+			rows = append(rows, []string{
+				compressed, r.Bench, r.Kind.String(), ftoa(r.Throughput),
+				ftoa(r.TputRatio), ftoa(r.LatRatio), ftoa(r.StaticNorm), ftoa(r.DynamicNorm),
+			})
+		}
+	}
+	add("1", f.Uncompr)
+	add(strconv.FormatInt(f.Compression, 10), f.Compressed)
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV exports the Fig 9 accuracies.
+func (f *Fig9Result) WriteCSV(w io.Writer) error {
+	header := []string{"feature", "bench", "accuracy"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{r.Feature, r.Bench, ftoa(r.Acc)})
+	}
+	return writeCSV(w, header, rows)
+}

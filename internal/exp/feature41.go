@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// DozzNoC-41 vs DozzNoC-5 (§IV-B1): the paper reports "almost no impact
+// on throughput, latency, dynamic energy savings, static power savings, or
+// EDP" between a model trained on the original 41 features and one trained
+// on the reduced 5-feature set. This experiment trains both (each with its
+// own reactive data harvest and lambda sweep) and runs them side by side
+// over the test benchmarks.
+
+// FeatureSet41Row compares the two variants on one benchmark.
+type FeatureSet41Row struct {
+	Bench        string
+	Static5      float64 // static savings vs baseline
+	Static41     float64
+	Dynamic5     float64
+	Dynamic41    float64
+	TputRatio    float64 // DozzNoC-41 throughput / DozzNoC-5 throughput
+	LatencyRatio float64
+	EDPRatio     float64
+}
+
+// FeatureSet41Result holds the comparison plus validation MSEs.
+type FeatureSet41Result struct {
+	ValMSE5  float64
+	ValMSE41 float64
+	Rows     []FeatureSet41Row
+}
+
+// FeatureSet41 runs the full DozzNoC-41 vs DozzNoC-5 comparison on the
+// suite's topology (uncompressed traces).
+func FeatureSet41(s *core.Suite) (*FeatureSet41Result, error) {
+	// The reduced model comes from the standard pipeline.
+	rep5, err := s.Train(core.KindDozzNoC)
+	if err != nil {
+		return nil, err
+	}
+
+	// The extended model gets its own harvest with the 41-feature
+	// extractor over the same train/validation protocol.
+	harvest := func(split traffic.Split) (*ml.Dataset, error) {
+		out := ml.NewDataset(features.ExtendedNames)
+		for _, p := range traffic.ProfilesBySplit(split) {
+			tr, err := s.Trace(p.Name)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(sim.Config{
+				Topo:           s.Topo,
+				Spec:           reactiveDozzNoC(),
+				Trace:          tr,
+				VCs:            s.Opts.VCs,
+				Depth:          s.Opts.Depth,
+				Pipeline:       s.Opts.Pipeline,
+				EpochTicks:     s.Opts.EpochTicks,
+				CollectDataset: true,
+				Extractor:      features.NewExtendedExtractor(s.Topo),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("exp: 41-feature harvest on %s: %w", p.Name, err)
+			}
+			out.Merge(res.Dataset)
+		}
+		return out, nil
+	}
+	train41, err := harvest(traffic.Train)
+	if err != nil {
+		return nil, err
+	}
+	val41, err := harvest(traffic.Validation)
+	if err != nil {
+		return nil, err
+	}
+	rep41, err := ml.TuneLambda(train41, val41, s.Opts.Lambdas)
+	if err != nil {
+		return nil, fmt.Errorf("exp: training DozzNoC-41: %w", err)
+	}
+
+	out := &FeatureSet41Result{ValMSE5: rep5.BestVal.ValMSE, ValMSE41: rep41.BestVal.ValMSE}
+	for _, bench := range TestBenchNames() {
+		tr, err := s.Trace(bench)
+		if err != nil {
+			return nil, err
+		}
+		base, err := s.RunBenchmark(core.KindBaseline, bench, 1)
+		if err != nil {
+			return nil, err
+		}
+		r5, err := s.RunBenchmark(core.KindDozzNoC, bench, 1)
+		if err != nil {
+			return nil, err
+		}
+		spec41 := policy.DozzNoC(policy.ProactiveSelector{Model: rep41.Best, ModelName: "DozzNoC-41"})
+		spec41.Name = "DozzNoC-41"
+		r41, err := sim.Run(sim.Config{
+			Topo:       s.Topo,
+			Spec:       spec41,
+			Trace:      tr,
+			VCs:        s.Opts.VCs,
+			Depth:      s.Opts.Depth,
+			Pipeline:   s.Opts.Pipeline,
+			EpochTicks: s.Opts.EpochTicks,
+			Extractor:  features.NewExtendedExtractor(s.Topo),
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := FeatureSet41Row{Bench: bench}
+		if base.StaticJ > 0 {
+			row.Static5 = 1 - r5.StaticJ/base.StaticJ
+			row.Static41 = 1 - r41.StaticJ/base.StaticJ
+		}
+		if base.DynamicJ > 0 {
+			row.Dynamic5 = 1 - r5.DynamicJ/base.DynamicJ
+			row.Dynamic41 = 1 - r41.DynamicJ/base.DynamicJ
+		}
+		if r5.Throughput > 0 {
+			row.TputRatio = r41.Throughput / r5.Throughput
+		}
+		if r5.AvgLatencyTicks > 0 {
+			row.LatencyRatio = r41.AvgLatencyTicks / r5.AvgLatencyTicks
+		}
+		if e5 := r5.EDP(); e5 > 0 {
+			row.EDPRatio = r41.EDP() / e5
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// reactiveDozzNoC builds a fresh reactive spec (mirrors the suite's
+// internal variant without needing its private constructor).
+func reactiveDozzNoC() policy.Spec {
+	sp := policy.DozzNoC(policy.ReactiveSelector{})
+	sp.Name = "DozzNoC(reactive,41)"
+	return sp
+}
+
+// Write renders the comparison.
+func (r *FeatureSet41Result) Write(w io.Writer) {
+	fmt.Fprintln(w, "DozzNoC-41 vs DozzNoC-5 (uncompressed test benchmarks)")
+	fmt.Fprintf(w, "validation MSE: 5 features %.3e, 41 features %.3e\n", r.ValMSE5, r.ValMSE41)
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s %10s %10s %10s\n",
+		"bench", "stat-5", "stat-41", "dyn-5", "dyn-41", "tput41/5", "lat41/5", "EDP41/5")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %9.1f%% %9.1f%% %9.1f%% %9.1f%% %10.3f %10.3f %10.3f\n",
+			row.Bench, 100*row.Static5, 100*row.Static41, 100*row.Dynamic5, 100*row.Dynamic41,
+			row.TputRatio, row.LatencyRatio, row.EDPRatio)
+	}
+}

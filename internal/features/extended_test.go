@@ -1,0 +1,116 @@
+package features
+
+import (
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+func TestExtendedNames(t *testing.T) {
+	if len(ExtendedNames) != ExtendedCount {
+		t.Fatalf("%d names for %d features", len(ExtendedNames), ExtendedCount)
+	}
+	// The first five columns coincide with the reduced set.
+	for i, n := range Names {
+		if ExtendedNames[i] != n {
+			t.Fatalf("column %d = %q, reduced set has %q", i, ExtendedNames[i], n)
+		}
+	}
+	seen := map[string]bool{}
+	for _, n := range ExtendedNames {
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestExtendedVectorShape(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	ctrl := policy.NewController(topo.NumRouters(), policy.DozzNoC(policy.ReactiveSelector{}))
+	n := network.New(topo, 2, 4, 1, ctrl, nil, nil)
+	ctrl.SetNetView(netView{n})
+	ext := NewExtendedExtractor(topo)
+	if ext.Count() != ExtendedCount {
+		t.Fatalf("count = %d", ext.Count())
+	}
+	v := ext.Collect(0, n, ctrl, 0.3, 500)
+	if len(v) != ExtendedCount {
+		t.Fatalf("vector length %d", len(v))
+	}
+	if v[Bias] != 1 || v[IBU] != 0.3 {
+		t.Fatal("reduced prefix wrong")
+	}
+	// All lag columns start at zero.
+	for i := 5; i < 13; i++ {
+		if v[i] != 0 {
+			t.Fatalf("fresh lag column %d = %g", i, v[i])
+		}
+	}
+}
+
+func TestExtendedLagsShift(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	ctrl := policy.NewController(topo.NumRouters(), policy.DozzNoC(policy.ReactiveSelector{}))
+	n := network.New(topo, 2, 4, 1, ctrl, nil, nil)
+	ctrl.SetNetView(netView{n})
+	ext := NewExtendedExtractor(topo)
+	ext.Collect(0, n, ctrl, 0.1, 500)
+	v := ext.Collect(0, n, ctrl, 0.2, 1000)
+	// ibu_lag1 (column 5) must hold the previous epoch's IBU.
+	if v[5] != 0.1 {
+		t.Fatalf("ibu_lag1 = %g, want 0.1", v[5])
+	}
+	v = ext.Collect(0, n, ctrl, 0.3, 1500)
+	if v[5] != 0.2 || v[6] != 0.1 {
+		t.Fatalf("lags = %g, %g; want 0.2, 0.1", v[5], v[6])
+	}
+}
+
+func TestExtendedRequestDelta(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	ctrl := policy.NewController(topo.NumRouters(), policy.DozzNoC(policy.ReactiveSelector{}))
+	n := network.New(topo, 2, 4, 1, ctrl, nil, nil)
+	ctrl.SetNetView(netView{n})
+	ext := NewExtendedExtractor(topo)
+	src := topo.CoreAt(topo.RouterAt(0, 0), 0)
+	dst := topo.CoreAt(topo.RouterAt(1, 0), 0)
+	n.Inject(flit.New(1, src, dst, flit.Request, 0))
+	for tick := int64(0); tick < 100 && n.InFlight(); tick++ {
+		n.SetTick(tick)
+		for r := range n.Routers {
+			if ctrl.Advance(r) {
+				n.RouterCycle(r)
+			}
+		}
+	}
+	v := ext.Collect(topo.RouterOf(src), n, ctrl, 0, 500)
+	if v[ReqsSent] != 1 {
+		t.Fatalf("sent delta = %g", v[ReqsSent])
+	}
+	// The next epoch's lag1 column for reqs_sent (column 13) holds it.
+	v = ext.Collect(topo.RouterOf(src), n, ctrl, 0, 1000)
+	if v[13] != 1 {
+		t.Fatalf("reqs_sent_lag1 = %g, want 1", v[13])
+	}
+	if v[ReqsSent] != 0 {
+		t.Fatalf("second-epoch delta = %g", v[ReqsSent])
+	}
+}
+
+func TestExtendedReset(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	ctrl := policy.NewController(topo.NumRouters(), policy.DozzNoC(policy.ReactiveSelector{}))
+	n := network.New(topo, 2, 4, 1, ctrl, nil, nil)
+	ctrl.SetNetView(netView{n})
+	ext := NewExtendedExtractor(topo)
+	ext.Collect(0, n, ctrl, 0.5, 500)
+	ext.Reset()
+	v := ext.Collect(0, n, ctrl, 0.1, 500)
+	if v[5] != 0 {
+		t.Fatalf("lag survived reset: %g", v[5])
+	}
+}

@@ -1,0 +1,91 @@
+// Package features extracts the paper's reduced Table IV feature set per
+// router per epoch, used both to harvest training data from the reactive
+// models and to generate labels at runtime for the proactive models.
+//
+// Feature vector (in order):
+//
+//	0: bias          — the "array of 1's" normalization feature
+//	1: reqs_sent     — request packets injected by the cores attached to
+//	                   the router during the closing epoch
+//	2: reqs_recv     — request packets delivered to the attached cores
+//	                   during the closing epoch
+//	3: off_time      — the router's cumulative power-gated time as a
+//	                   fraction of elapsed simulation time
+//	4: ibu           — the closing epoch's average input-buffer
+//	                   utilization in [0, 1]
+//
+// The label predicted from this vector is the *next* epoch's IBU.
+package features
+
+import (
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/timing"
+	"repro/internal/topology"
+)
+
+// Count is the number of features (the paper's reduced set of 5).
+const Count = 5
+
+// Indices of the features within a vector.
+const (
+	Bias = iota
+	ReqsSent
+	ReqsRecv
+	OffTime
+	IBU
+)
+
+// Names are the column names, aligned with the indices above.
+var Names = [Count]string{"bias", "reqs_sent", "reqs_recv", "off_time", "ibu"}
+
+// Extractor computes per-epoch feature vectors. It keeps the previous
+// cumulative counters so each call yields per-epoch deltas.
+type Extractor struct {
+	topo     topology.Topology
+	prevSent []int64 // per router: cumulative requests sent by its cores
+	prevRecv []int64
+}
+
+// NewExtractor builds an extractor for a topology.
+func NewExtractor(topo topology.Topology) *Extractor {
+	return &Extractor{
+		topo:     topo,
+		prevSent: make([]int64, topo.NumRouters()),
+		prevRecv: make([]int64, topo.NumRouters()),
+	}
+}
+
+// Collect returns the feature vector of one router at an epoch boundary.
+// ibu is the closing epoch's measured utilization; now the current tick.
+// Collect must be called exactly once per router per epoch boundary (it
+// advances the delta baselines).
+func (e *Extractor) Collect(routerID int, net *network.Network, ctrl *policy.Controller, ibu float64, now timing.Tick) []float64 {
+	var sent, recv int64
+	c0 := routerID * e.topo.Concentration()
+	for lp := 0; lp < e.topo.Concentration(); lp++ {
+		sent += net.CoreSentRequests(c0 + lp)
+		recv += net.CoreRecvRequests(c0 + lp)
+	}
+	dSent := sent - e.prevSent[routerID]
+	dRecv := recv - e.prevRecv[routerID]
+	e.prevSent[routerID] = sent
+	e.prevRecv[routerID] = recv
+
+	offFrac := 0.0
+	if now > 0 {
+		offFrac = float64(ctrl.OffTicks(routerID)) / float64(now)
+	}
+	return []float64{1, float64(dSent), float64(dRecv), offFrac, ibu}
+}
+
+// Reset clears the delta baselines (for reuse across runs).
+func (e *Extractor) Reset() {
+	for i := range e.prevSent {
+		e.prevSent[i] = 0
+		e.prevRecv[i] = 0
+	}
+}
+
+// FeatureNames labels the reduced vector's columns (sim dataset naming).
+func (e *Extractor) FeatureNames() []string { return Names[:] }

@@ -1,0 +1,125 @@
+package features
+
+import (
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/timing"
+	"repro/internal/topology"
+)
+
+func buildWorld(t *testing.T) (topology.Topology, *network.Network, *policy.Controller, *Extractor) {
+	t.Helper()
+	topo := topology.NewMesh(4, 4)
+	ctrl := policy.NewController(topo.NumRouters(), policy.DozzNoC(policy.ReactiveSelector{}))
+	n := network.New(topo, 2, 4, 1, ctrl, nil, nil)
+	ctrl.SetNetView(netView{n})
+	return topo, n, ctrl, NewExtractor(topo)
+}
+
+type netView struct{ n *network.Network }
+
+func (v netView) BuffersEmpty(r int) bool { return v.n.Routers[r].BuffersEmpty() }
+func (v netView) Secured(r int) bool      { return v.n.Secured(r) }
+
+func TestFeatureVectorLayout(t *testing.T) {
+	if Count != 5 {
+		t.Fatalf("feature count = %d, paper uses 5", Count)
+	}
+	if Names[Bias] != "bias" || Names[IBU] != "ibu" || Names[OffTime] != "off_time" {
+		t.Fatalf("names = %v", Names)
+	}
+}
+
+func TestCollectBiasAndIBU(t *testing.T) {
+	_, n, ctrl, ext := buildWorld(t)
+	v := ext.Collect(0, n, ctrl, 0.42, 1000)
+	if len(v) != Count {
+		t.Fatalf("vector length %d", len(v))
+	}
+	if v[Bias] != 1 {
+		t.Error("bias must be 1")
+	}
+	if v[IBU] != 0.42 {
+		t.Errorf("ibu = %g", v[IBU])
+	}
+	if v[OffTime] != 0 {
+		t.Errorf("fresh off time = %g", v[OffTime])
+	}
+}
+
+func TestCollectRequestDeltas(t *testing.T) {
+	topo, n, ctrl, ext := buildWorld(t)
+	src := topo.CoreAt(topo.RouterAt(0, 0), 0)
+	dst := topo.CoreAt(topo.RouterAt(1, 0), 0)
+	srcR, dstR := topo.RouterOf(src), topo.RouterOf(dst)
+
+	n.Inject(flit.New(1, src, dst, flit.Request, 0))
+	n.Inject(flit.New(2, src, dst, flit.Request, 0))
+	for tick := int64(0); tick < 200 && n.InFlight(); tick++ {
+		n.SetTick(tick)
+		ctrl.SetNow(0)
+		for r := range n.Routers {
+			if ctrl.Advance(r) {
+				n.RouterCycle(r)
+			}
+		}
+	}
+	v := ext.Collect(srcR, n, ctrl, 0, 500)
+	if v[ReqsSent] != 2 {
+		t.Errorf("sent delta = %g, want 2", v[ReqsSent])
+	}
+	v = ext.Collect(dstR, n, ctrl, 0, 500)
+	if v[ReqsRecv] != 2 {
+		t.Errorf("recv delta = %g, want 2", v[ReqsRecv])
+	}
+	// Deltas reset: a second collection sees nothing new.
+	v = ext.Collect(srcR, n, ctrl, 0, 1000)
+	if v[ReqsSent] != 0 {
+		t.Errorf("second-epoch sent delta = %g, want 0", v[ReqsSent])
+	}
+}
+
+func TestCollectOffFraction(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	ctrl := policy.NewController(topo.NumRouters(), policy.PowerGated())
+	n := network.New(topo, 2, 4, 1, ctrl, nil, nil)
+	ctrl.SetNetView(netView{n})
+	ext := NewExtractor(topo)
+	// Gate router 0 by running idle cycles.
+	for tick := int64(0); ctrl.State(0) == policy.Active; tick++ {
+		ctrl.SetNow(timing.Tick(tick))
+		if ctrl.Advance(0) {
+			ctrl.PostCycle(0)
+		}
+	}
+	// 100 ticks later, off fraction is large.
+	ctrl.SetNow(timing.Tick(200))
+	v := ext.Collect(0, n, ctrl, 0, 200)
+	if v[OffTime] <= 0.5 || v[OffTime] > 1 {
+		t.Fatalf("off fraction = %g, want in (0.5, 1]", v[OffTime])
+	}
+}
+
+func TestReset(t *testing.T) {
+	topo, n, ctrl, ext := buildWorld(t)
+	src := topo.CoreAt(topo.RouterAt(0, 0), 0)
+	dst := topo.CoreAt(topo.RouterAt(1, 0), 0)
+	n.Inject(flit.New(1, src, dst, flit.Request, 0))
+	for tick := int64(0); tick < 100 && n.InFlight(); tick++ {
+		n.SetTick(tick)
+		for r := range n.Routers {
+			if ctrl.Advance(r) {
+				n.RouterCycle(r)
+			}
+		}
+	}
+	ext.Collect(topo.RouterOf(src), n, ctrl, 0, 100)
+	ext.Reset()
+	v := ext.Collect(topo.RouterOf(src), n, ctrl, 0, 100)
+	if v[ReqsSent] != 1 {
+		t.Fatalf("after reset the delta baseline must restart: %g", v[ReqsSent])
+	}
+}

@@ -1,0 +1,134 @@
+// Package flit defines the packet and flit types moved by the network.
+//
+// Packets are wormhole-switched: a packet of N flits is serialized into one
+// HEAD flit, N-2 BODY flits, and one TAIL flit (a single-flit packet has a
+// flit that is both HEAD and TAIL). The HEAD flit carries routing state,
+// including the look-ahead output port for the router currently holding it.
+package flit
+
+import "fmt"
+
+// Kind distinguishes request traffic (core -> destination, short control
+// packet) from response traffic (data reply, long packet), mirroring the
+// request/response field of the paper's Multi2Sim traces.
+type Kind uint8
+
+const (
+	// Request is a short control packet (1 flit at 128-bit flit width).
+	Request Kind = iota
+	// Response is a data packet (header + 64 B line = 5 flits).
+	Response
+)
+
+// String returns "request" or "response".
+func (k Kind) String() string {
+	switch k {
+	case Request:
+		return "request"
+	case Response:
+		return "response"
+	}
+	return fmt.Sprintf("Kind(%d)", k)
+}
+
+// Flits returns the number of flits a packet of this kind occupies at the
+// paper's 128-bit flit width.
+func (k Kind) Flits() int {
+	if k == Response {
+		return ResponseFlits
+	}
+	return RequestFlits
+}
+
+// Packet sizes in flits at 128-bit flit width.
+const (
+	RequestFlits  = 1
+	ResponseFlits = 5
+)
+
+// Packet is one network packet. SrcCore and DstCore are core (terminal)
+// indices, not router indices; the topology maps cores to routers.
+type Packet struct {
+	ID       uint64
+	SrcCore  int
+	DstCore  int
+	Kind     Kind
+	Size     int   // flits
+	InjectAt int64 // base tick the packet entered the source queue
+	Injected int64 // base tick the head flit entered the network (-1 until then)
+	Ejected  int64 // base tick the tail flit was delivered (-1 until then)
+}
+
+// New returns a packet of the given kind with Size derived from the kind
+// and Injected/Ejected initialized to -1.
+func New(id uint64, src, dst int, kind Kind, injectAt int64) *Packet {
+	return &Packet{
+		ID:       id,
+		SrcCore:  src,
+		DstCore:  dst,
+		Kind:     kind,
+		Size:     kind.Flits(),
+		InjectAt: injectAt,
+		Injected: -1,
+		Ejected:  -1,
+	}
+}
+
+// Latency returns the packet latency in base ticks from source-queue entry
+// to tail delivery, or -1 if the packet has not been delivered.
+func (p *Packet) Latency() int64 {
+	if p.Ejected < 0 {
+		return -1
+	}
+	return p.Ejected - p.InjectAt
+}
+
+// Flit is one flow-control unit of a packet.
+type Flit struct {
+	Pkt  *Packet
+	Seq  int  // 0-based position within the packet
+	Head bool // first flit of the packet
+	Tail bool // last flit of the packet
+
+	// OutPort is the output port this flit must take at the router that
+	// currently buffers it. With look-ahead routing it is computed by the
+	// upstream router (or the injection logic) before the flit arrives.
+	OutPort int
+	// NextRouter is the router this flit will occupy after taking OutPort
+	// (-1 if OutPort ejects it). Used for downstream securing and wake
+	// punches.
+	NextRouter int
+	// ReadyCycle is the local cycle (of the router currently buffering
+	// the flit) at which the flit has cleared the router pipeline and may
+	// traverse the switch; set on acceptance.
+	ReadyCycle int64
+}
+
+// Flits serializes a packet into its flit sequence. OutPort/NextRouter are
+// left zeroed; injection logic fills them for the head flit.
+func Flits(p *Packet) []*Flit {
+	fs := make([]*Flit, p.Size)
+	for i := range fs {
+		fs[i] = &Flit{
+			Pkt:  p,
+			Seq:  i,
+			Head: i == 0,
+			Tail: i == p.Size-1,
+		}
+	}
+	return fs
+}
+
+// String renders a flit for debugging.
+func (f *Flit) String() string {
+	role := "body"
+	switch {
+	case f.Head && f.Tail:
+		role = "head+tail"
+	case f.Head:
+		role = "head"
+	case f.Tail:
+		role = "tail"
+	}
+	return fmt.Sprintf("flit{pkt=%d seq=%d %s %d->%d}", f.Pkt.ID, f.Seq, role, f.Pkt.SrcCore, f.Pkt.DstCore)
+}

@@ -1,0 +1,90 @@
+package flit
+
+import "testing"
+
+func TestKindFlits(t *testing.T) {
+	if Request.Flits() != 1 {
+		t.Errorf("request = %d flits, want 1", Request.Flits())
+	}
+	if Response.Flits() != 5 {
+		t.Errorf("response = %d flits, want 5", Response.Flits())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Request.String() != "request" || Response.String() != "response" {
+		t.Errorf("kind strings = %q, %q", Request, Response)
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind produced empty string")
+	}
+}
+
+func TestNewPacket(t *testing.T) {
+	p := New(7, 3, 12, Response, 100)
+	if p.ID != 7 || p.SrcCore != 3 || p.DstCore != 12 {
+		t.Fatalf("packet fields wrong: %+v", p)
+	}
+	if p.Size != ResponseFlits {
+		t.Errorf("size = %d, want %d", p.Size, ResponseFlits)
+	}
+	if p.Injected != -1 || p.Ejected != -1 {
+		t.Errorf("timestamps should start at -1, got %d/%d", p.Injected, p.Ejected)
+	}
+	if p.Latency() != -1 {
+		t.Errorf("latency before delivery = %d, want -1", p.Latency())
+	}
+}
+
+func TestLatency(t *testing.T) {
+	p := New(1, 0, 1, Request, 50)
+	p.Injected = 60
+	p.Ejected = 95
+	if got := p.Latency(); got != 45 {
+		t.Errorf("latency = %d, want 45 (from source-queue entry)", got)
+	}
+}
+
+func TestFlitsSerialization(t *testing.T) {
+	p := New(1, 0, 1, Response, 0)
+	fs := Flits(p)
+	if len(fs) != 5 {
+		t.Fatalf("response serialized into %d flits, want 5", len(fs))
+	}
+	for i, f := range fs {
+		if f.Pkt != p {
+			t.Fatalf("flit %d points at wrong packet", i)
+		}
+		if f.Seq != i {
+			t.Errorf("flit %d has seq %d", i, f.Seq)
+		}
+		if f.Head != (i == 0) {
+			t.Errorf("flit %d head = %v", i, f.Head)
+		}
+		if f.Tail != (i == 4) {
+			t.Errorf("flit %d tail = %v", i, f.Tail)
+		}
+	}
+}
+
+func TestSingleFlitPacketIsHeadAndTail(t *testing.T) {
+	fs := Flits(New(1, 0, 1, Request, 0))
+	if len(fs) != 1 {
+		t.Fatalf("request serialized into %d flits, want 1", len(fs))
+	}
+	if !fs[0].Head || !fs[0].Tail {
+		t.Errorf("single flit must be head and tail, got head=%v tail=%v", fs[0].Head, fs[0].Tail)
+	}
+}
+
+func TestFlitString(t *testing.T) {
+	fs := Flits(New(42, 1, 2, Response, 0))
+	for _, f := range fs {
+		if f.String() == "" {
+			t.Error("empty flit string")
+		}
+	}
+	if s := fs[0].String(); s != "flit{pkt=42 seq=0 head 1->2}" {
+		t.Errorf("head flit string = %q", s)
+	}
+}

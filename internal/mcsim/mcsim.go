@@ -1,0 +1,347 @@
+// Package mcsim is a lightweight multicore full-system model — the
+// substrate that stands in for the Multi2Sim simulator the paper used to
+// gather its traces. It models cores with private L1 caches, a shared
+// S-NUCA L2 whose banks are distributed one per router, and memory
+// controllers at the mesh corners. Cores execute a fixed instruction
+// budget; L1 misses become network request packets to the home L2 bank,
+// L2 misses chain to a memory controller, and responses travel back as
+// data packets.
+//
+// Crucially the model is *closed-loop*: a core stalls once its MSHRs are
+// full, so network slowdowns (power-gating wakeups, low DVFS modes) feed
+// back into injection and stretch application runtime — which is how
+// real throughput loss manifests, complementing the open-loop trace
+// replays used for the paper's figures.
+package mcsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/flit"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// CoreParams describe one core's synthetic workload.
+type CoreParams struct {
+	// IPC is the instruction throughput per base tick while unstalled.
+	IPC float64
+	// L1MPKI is L1 misses per kilo-instruction; every miss becomes a
+	// network request.
+	L1MPKI float64
+	// L2MissFrac is the fraction of L2 accesses missing to memory.
+	L2MissFrac float64
+	// MSHRs bounds outstanding misses per core; at the bound the core
+	// stalls (the closed-loop feedback).
+	MSHRs int
+	// Instructions is the core's total work.
+	Instructions int64
+	// Locality is the probability an access maps to an L2 bank within
+	// two hops of the core.
+	Locality float64
+	// PhasePeriod/CommFrac/QuietScale shape compute vs. memory phases:
+	// during the quiet (compute) window the MPKI is scaled by
+	// QuietScale; during the memory window it is boosted to preserve the
+	// long-run mean. Zero PhasePeriod disables phasing.
+	PhasePeriod int64
+	CommFrac    float64
+	QuietScale  float64
+}
+
+// SystemParams describe the platform.
+type SystemParams struct {
+	Topo topology.Topology
+	Core CoreParams // applied to every core
+	// L2LatencyTicks is the bank access latency; MemLatencyTicks the
+	// memory controller service latency.
+	L2LatencyTicks  int64
+	MemLatencyTicks int64
+	Seed            int64
+}
+
+// DefaultSystem returns a medium-load configuration on the given
+// topology.
+func DefaultSystem(topo topology.Topology) SystemParams {
+	return SystemParams{
+		Topo: topo,
+		Core: CoreParams{
+			IPC:          1.0,
+			L1MPKI:       6.0,
+			L2MissFrac:   0.25,
+			MSHRs:        8,
+			Instructions: 200_000,
+			Locality:     0.3,
+			PhasePeriod:  12_000,
+			CommFrac:     0.25,
+			QuietScale:   0.1,
+		},
+		L2LatencyTicks:  20,
+		MemLatencyTicks: 90,
+		Seed:            1,
+	}
+}
+
+func (p SystemParams) validate() error {
+	c := p.Core
+	switch {
+	case p.Topo == nil:
+		return fmt.Errorf("mcsim: nil topology")
+	case c.IPC <= 0 || c.L1MPKI < 0 || c.MSHRs < 1 || c.Instructions < 1:
+		return fmt.Errorf("mcsim: bad core params %+v", c)
+	case c.L2MissFrac < 0 || c.L2MissFrac > 1:
+		return fmt.Errorf("mcsim: bad L2 miss fraction %g", c.L2MissFrac)
+	case p.L2LatencyTicks < 0 || p.MemLatencyTicks < 0:
+		return fmt.Errorf("mcsim: negative latency")
+	}
+	return nil
+}
+
+// missStage tracks where a miss is in its request chain.
+type missStage uint8
+
+const (
+	stageToL2    missStage = iota // request travelling core -> L2 bank
+	stageToMem                    // request travelling L2 bank -> memory controller
+	stageMemBack                  // response travelling MC -> L2 bank
+	stageBack                     // response travelling L2 bank -> core
+)
+
+// miss is one outstanding L1 miss.
+type miss struct {
+	origin int // requesting core
+	bank   int // home L2 bank core
+	mem    int // memory controller core (if the L2 missed)
+	stage  missStage
+}
+
+// event is a deferred injection (bank/MC service completion).
+type event struct {
+	at   int64
+	src  int
+	dst  int
+	kind flit.Kind
+	m    *miss
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// System is the multicore workload; it implements sim.Workload.
+type System struct {
+	p   SystemParams
+	rng *rand.Rand
+
+	retired     []float64 // instructions per core
+	missCredit  []float64
+	outstanding []int
+	stalled     []int64 // stalled ticks per core (stats)
+
+	inflight map[uint64]*miss // network packet ID -> miss
+	events   eventHeap
+
+	mcs    []int   // memory controller cores (corners)
+	locals [][]int // per core: banks within 2 hops
+
+	// totals
+	missesIssued int64
+	l2Misses     int64
+}
+
+var _ sim.Workload = (*System)(nil)
+
+// New builds the workload.
+func New(p SystemParams) (*System, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	t := p.Topo
+	s := &System{
+		p:           p,
+		rng:         rand.New(rand.NewSource(p.Seed)),
+		retired:     make([]float64, t.NumCores()),
+		missCredit:  make([]float64, t.NumCores()),
+		outstanding: make([]int, t.NumCores()),
+		stalled:     make([]int64, t.NumCores()),
+		inflight:    make(map[uint64]*miss),
+	}
+	s.mcs = []int{
+		t.CoreAt(t.RouterAt(0, 0), 0),
+		t.CoreAt(t.RouterAt(t.Width()-1, 0), 0),
+		t.CoreAt(t.RouterAt(0, t.Height()-1), 0),
+		t.CoreAt(t.RouterAt(t.Width()-1, t.Height()-1), 0),
+	}
+	s.locals = make([][]int, t.NumCores())
+	for c := range s.locals {
+		for d := 0; d < t.NumCores(); d++ {
+			if d != c && topology.Hops(t, c, d) <= 2 {
+				s.locals[c] = append(s.locals[c], d)
+			}
+		}
+	}
+	return s, nil
+}
+
+// mpkiAt returns the phase-modulated L1 MPKI at tick now.
+func (s *System) mpkiAt(now int64) float64 {
+	c := s.p.Core
+	if c.PhasePeriod <= 0 || c.CommFrac <= 0 || c.CommFrac >= 1 {
+		return c.L1MPKI
+	}
+	boost := (1 - c.QuietScale*(1-c.CommFrac)) / c.CommFrac
+	if float64(now%c.PhasePeriod) < c.CommFrac*float64(c.PhasePeriod) {
+		return c.L1MPKI * boost
+	}
+	return c.L1MPKI * c.QuietScale
+}
+
+// Tick implements sim.Workload: advance cores, issue misses, fire due
+// service events.
+func (s *System) Tick(now int64, inject func(*flit.Packet)) {
+	// Fire due bank/MC completions.
+	for len(s.events) > 0 && s.events[0].at <= now {
+		ev := heap.Pop(&s.events).(event)
+		p := flit.New(0, ev.src, ev.dst, ev.kind, now)
+		inject(p)
+		s.inflight[p.ID] = ev.m
+	}
+
+	mpki := s.mpkiAt(now)
+	cp := s.p.Core
+	for c := range s.retired {
+		if s.retired[c] >= float64(cp.Instructions) {
+			continue // finished
+		}
+		if s.outstanding[c] >= cp.MSHRs {
+			s.stalled[c]++
+			continue
+		}
+		s.retired[c] += cp.IPC
+		s.missCredit[c] += cp.IPC * mpki / 1000.0
+		for s.missCredit[c] >= 1 && s.outstanding[c] < cp.MSHRs {
+			s.missCredit[c]--
+			s.issueMiss(c, inject)
+		}
+	}
+}
+
+// issueMiss sends an L1-miss request from core c to its home L2 bank.
+func (s *System) issueMiss(c int, inject func(*flit.Packet)) {
+	bank := s.pickBank(c)
+	m := &miss{origin: c, bank: bank, stage: stageToL2}
+	p := flit.New(0, c, bank, flit.Request, 0)
+	inject(p)
+	s.inflight[p.ID] = m
+	s.outstanding[c]++
+	s.missesIssued++
+}
+
+// pickBank maps an access to its home L2 bank (address-hashed S-NUCA
+// with a locality bias).
+func (s *System) pickBank(c int) int {
+	if s.rng.Float64() < s.p.Core.Locality && len(s.locals[c]) > 0 {
+		return s.locals[c][s.rng.Intn(len(s.locals[c]))]
+	}
+	for {
+		d := s.rng.Intn(s.p.Topo.NumCores())
+		if d != c {
+			return d
+		}
+	}
+}
+
+// PacketDelivered implements sim.Workload: advance the miss chain.
+func (s *System) PacketDelivered(p *flit.Packet, core int, now int64) {
+	m, ok := s.inflight[p.ID]
+	if !ok {
+		return // not ours (trace traffic can coexist in principle)
+	}
+	delete(s.inflight, p.ID)
+	switch m.stage {
+	case stageToL2:
+		if s.rng.Float64() < s.p.Core.L2MissFrac {
+			// L2 miss: forward to the closest memory controller.
+			m.stage = stageToMem
+			m.mem = s.closestMC(core)
+			s.l2Misses++
+			s.schedule(now+s.p.L2LatencyTicks, core, m.mem, flit.Request, m)
+		} else {
+			m.stage = stageBack
+			s.schedule(now+s.p.L2LatencyTicks, core, m.origin, flit.Response, m)
+		}
+	case stageToMem:
+		m.stage = stageMemBack
+		s.schedule(now+s.p.MemLatencyTicks, core, m.bank, flit.Response, m)
+	case stageMemBack:
+		m.stage = stageBack
+		s.schedule(now+2, core, m.origin, flit.Response, m)
+	case stageBack:
+		s.outstanding[m.origin]--
+	}
+}
+
+func (s *System) schedule(at int64, src, dst int, kind flit.Kind, m *miss) {
+	heap.Push(&s.events, event{at: at, src: src, dst: dst, kind: kind, m: m})
+}
+
+func (s *System) closestMC(core int) int {
+	best, bestH := s.mcs[0], 1<<30
+	for _, mc := range s.mcs {
+		if mc == core {
+			continue
+		}
+		if h := topology.Hops(s.p.Topo, core, mc); h < bestH {
+			best, bestH = mc, h
+		}
+	}
+	return best
+}
+
+// Done implements sim.Workload.
+func (s *System) Done() bool {
+	for c := range s.retired {
+		if s.retired[c] < float64(s.p.Core.Instructions) {
+			return false
+		}
+	}
+	return len(s.inflight) == 0 && len(s.events) == 0 && s.totalOutstanding() == 0
+}
+
+func (s *System) totalOutstanding() int {
+	n := 0
+	for _, o := range s.outstanding {
+		n += o
+	}
+	return n
+}
+
+// Stats summarize the run.
+type Stats struct {
+	MissesIssued int64
+	L2Misses     int64
+	StalledTicks int64 // summed over cores
+}
+
+// Stats returns workload-side counters.
+func (s *System) Stats() Stats {
+	st := Stats{MissesIssued: s.missesIssued, L2Misses: s.l2Misses}
+	for _, v := range s.stalled {
+		st.StalledTicks += v
+	}
+	return st
+}
+
+// InstructionsRetired returns total retired instructions.
+func (s *System) InstructionsRetired() int64 {
+	var t int64
+	for _, r := range s.retired {
+		t += int64(r)
+	}
+	return t
+}

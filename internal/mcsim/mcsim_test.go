@@ -1,0 +1,219 @@
+package mcsim
+
+import (
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func smallSystem(t *testing.T, topo topology.Topology) SystemParams {
+	t.Helper()
+	p := DefaultSystem(topo)
+	p.Core.Instructions = 30_000
+	return p
+}
+
+func runWorkload(t *testing.T, topo topology.Topology, spec policy.Spec, p SystemParams) (*sim.Result, *System) {
+	t.Helper()
+	w, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{Topo: topo, Spec: spec, Workload: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, w
+}
+
+func TestValidation(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	bad := DefaultSystem(topo)
+	bad.Core.MSHRs = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero MSHRs accepted")
+	}
+	bad = DefaultSystem(topo)
+	bad.Core.L2MissFrac = 1.5
+	if _, err := New(bad); err == nil {
+		t.Error("bad miss fraction accepted")
+	}
+	bad = DefaultSystem(nil)
+	if _, err := New(bad); err == nil {
+		t.Error("nil topology accepted")
+	}
+}
+
+func TestWorkloadCompletes(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	p := smallSystem(t, topo)
+	res, w := runWorkload(t, topo, policy.Baseline(), p)
+	if !res.Drained {
+		t.Fatal("workload run did not drain")
+	}
+	if !w.Done() {
+		t.Fatal("workload not done after drain")
+	}
+	want := int64(topo.NumCores()) * p.Core.Instructions
+	if got := w.InstructionsRetired(); got < want {
+		t.Fatalf("retired %d instructions, want >= %d", got, want)
+	}
+	if res.PacketsDelivered != res.PacketsInjected {
+		t.Fatal("lost packets")
+	}
+	if w.Stats().MissesIssued == 0 {
+		t.Fatal("no misses issued")
+	}
+}
+
+func TestRequestChainsProduceResponses(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	p := smallSystem(t, topo)
+	res, w := runWorkload(t, topo, policy.Baseline(), p)
+	st := w.Stats()
+	// Every miss produces one core->bank request and one bank->core
+	// response; L2 misses add an MC round trip (two more packets).
+	wantPackets := 2*st.MissesIssued + 2*st.L2Misses
+	if res.PacketsInjected != wantPackets {
+		t.Fatalf("injected %d packets, chain accounting says %d", res.PacketsInjected, wantPackets)
+	}
+	// The L2 miss fraction should be near the configured value.
+	frac := float64(st.L2Misses) / float64(st.MissesIssued)
+	if frac < p.Core.L2MissFrac-0.05 || frac > p.Core.L2MissFrac+0.05 {
+		t.Fatalf("L2 miss fraction %.3f, configured %.2f", frac, p.Core.L2MissFrac)
+	}
+}
+
+func TestClosedLoopSlowdown(t *testing.T) {
+	// The defining property: a slower network stretches application
+	// runtime. A DozzNoC network (wakeups + low modes) must take at
+	// least as long as the always-on baseline to retire the same work,
+	// and stall cores more.
+	topo := topology.NewMesh(4, 4)
+	p := smallSystem(t, topo)
+	base, wb := runWorkload(t, topo, policy.Baseline(), p)
+	dozz, wd := runWorkload(t, topo, policy.DozzNoC(policy.ReactiveSelector{}), p)
+	if dozz.Ticks < base.Ticks {
+		t.Fatalf("DozzNoC finished faster than baseline: %d vs %d ticks", dozz.Ticks, base.Ticks)
+	}
+	if wd.Stats().StalledTicks < wb.Stats().StalledTicks {
+		t.Fatalf("DozzNoC stalled less than baseline: %d vs %d",
+			wd.Stats().StalledTicks, wb.Stats().StalledTicks)
+	}
+	// And it must still save energy while doing so.
+	if dozz.StaticJ >= base.StaticJ || dozz.DynamicJ >= base.DynamicJ {
+		t.Fatal("DozzNoC did not save energy in closed loop")
+	}
+}
+
+func TestMSHRBoundsOutstanding(t *testing.T) {
+	// Drive ticks without ever delivering: outstanding misses must cap
+	// at MSHRs per core, and cores must stall (retire nothing) there.
+	topo := topology.NewMesh(4, 4)
+	p := smallSystem(t, topo)
+	p.Core.MSHRs = 2
+	p.Core.L1MPKI = 100 // saturate instantly
+	p.Core.PhasePeriod = 0
+	w, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := 0
+	var id uint64
+	for tick := int64(0); tick < 500; tick++ {
+		w.Tick(tick, func(pk *flit.Packet) {
+			pk.ID = id
+			id++
+			injected++
+		})
+	}
+	if max := topo.NumCores() * p.Core.MSHRs; injected > max {
+		t.Fatalf("injected %d requests, MSHR cap is %d", injected, max)
+	}
+	if w.Stats().StalledTicks == 0 {
+		t.Fatal("cores never stalled at the MSHR limit")
+	}
+	if w.Done() {
+		t.Fatal("workload cannot be done with misses outstanding")
+	}
+}
+
+func TestDeterministicWorkload(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	p := smallSystem(t, topo)
+	a, _ := runWorkload(t, topo, policy.DozzNoC(policy.ReactiveSelector{}), p)
+	b, _ := runWorkload(t, topo, policy.DozzNoC(policy.ReactiveSelector{}), p)
+	if a.Ticks != b.Ticks || a.StaticJ != b.StaticJ || a.PacketsInjected != b.PacketsInjected {
+		t.Fatalf("closed-loop runs diverged: %d/%d ticks", a.Ticks, b.Ticks)
+	}
+}
+
+func TestTraceAndWorkloadExclusive(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	w, err := New(smallSystem(t, topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := traffic.Generator{Topo: topo, Horizon: 100, Seed: 1}
+	pr, _ := traffic.ProfileByName("fft")
+	tr := g.Generate(pr)
+	if _, err := sim.Run(sim.Config{Topo: topo, Spec: policy.Baseline(), Trace: tr, Workload: w}); err == nil {
+		t.Fatal("trace+workload accepted")
+	}
+	if _, err := sim.Run(sim.Config{Topo: topo, Spec: policy.Baseline()}); err == nil {
+		t.Fatal("neither trace nor workload accepted")
+	}
+}
+
+func TestParamsFromProfile(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	p, _ := traffic.ProfileByName("fft")
+	sys := ParamsFromProfile(topo, p, 50_000)
+	if sys.Core.L1MPKI != 1000*p.ReqRate {
+		t.Errorf("MPKI = %g, want %g", sys.Core.L1MPKI, 1000*p.ReqRate)
+	}
+	if sys.Core.PhasePeriod != p.PhasePeriod || sys.Core.Locality != p.Locality {
+		t.Error("phase/locality not carried over")
+	}
+	if sys.Core.Instructions != 50_000 {
+		t.Error("instructions not set")
+	}
+	if _, err := New(sys); err != nil {
+		t.Fatalf("derived params invalid: %v", err)
+	}
+}
+
+func TestParamsForBenchmark(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	if _, err := ParamsForBenchmark(topo, "bogus", 1000); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	sys, err := ParamsForBenchmark(topo, "lu", 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{Topo: topo, Spec: policy.Baseline(), Workload: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Drained || res.PacketsDelivered != res.PacketsInjected {
+		t.Fatal("derived benchmark run broken")
+	}
+}
+
+func TestBenchmarkSeedsDiffer(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	a, _ := ParamsForBenchmark(topo, "fft", 1000)
+	b, _ := ParamsForBenchmark(topo, "lu", 1000)
+	if a.Seed == b.Seed {
+		t.Error("benchmark seeds should differ")
+	}
+}

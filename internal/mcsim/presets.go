@@ -1,0 +1,57 @@
+package mcsim
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// ParamsFromProfile derives a closed-loop multicore configuration from a
+// trace-generator benchmark profile, so the same 14 named benchmarks can
+// run either open-loop (trace replay) or closed-loop (this package).
+//
+// The mapping preserves the profile's long-run request rate: the open-loop
+// generator injects ReqRate requests per core per tick, and a core at
+// IPC=1 with L1MPKI misses per kilo-instruction issues IPC*MPKI/1000
+// requests per tick, so MPKI = 1000*ReqRate. Phase structure, locality
+// and the read fraction carry over directly; the profile's hotspot weight
+// (memory-controller traffic in the open-loop model) becomes the L2 miss
+// fraction that chains to the corner MCs here.
+func ParamsFromProfile(topo topology.Topology, p traffic.Profile, instructions int64) SystemParams {
+	sys := DefaultSystem(topo)
+	sys.Core.IPC = 1.0
+	sys.Core.L1MPKI = 1000 * p.ReqRate
+	sys.Core.L2MissFrac = p.Hotspot
+	sys.Core.Locality = p.Locality
+	sys.Core.Instructions = instructions
+	sys.Core.PhasePeriod = p.PhasePeriod
+	sys.Core.CommFrac = p.CommFrac
+	sys.Core.QuietScale = p.QuietScale
+	sys.MemLatencyTicks = int64(p.RespDelay)
+	sys.Seed = int64(nameHash(p.Name))
+	return sys
+}
+
+// ParamsForBenchmark looks up a named benchmark profile and derives its
+// closed-loop configuration.
+func ParamsForBenchmark(topo topology.Topology, name string, instructions int64) (SystemParams, error) {
+	p, ok := traffic.ProfileByName(name)
+	if !ok {
+		return SystemParams{}, fmt.Errorf("mcsim: unknown benchmark %q", name)
+	}
+	return ParamsFromProfile(topo, p, instructions), nil
+}
+
+// nameHash gives a stable per-benchmark seed (FNV-1a).
+func nameHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

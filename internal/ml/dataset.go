@@ -1,0 +1,116 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Dataset is a supervised regression dataset: one row per (router, epoch)
+// sample with the Table IV features and the future-IBU label.
+type Dataset struct {
+	FeatureNames []string    `json:"feature_names,omitempty"`
+	X            [][]float64 `json:"x"`
+	Y            []float64   `json:"y"`
+}
+
+// NewDataset returns an empty dataset with named feature columns.
+func NewDataset(names []string) *Dataset {
+	return &Dataset{FeatureNames: append([]string(nil), names...)}
+}
+
+// Add appends one sample. The row is copied.
+func (d *Dataset) Add(x []float64, y float64) {
+	row := make([]float64, len(x))
+	copy(row, x)
+	d.X = append(d.X, row)
+	d.Y = append(d.Y, y)
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Dim returns the feature dimensionality (0 when empty).
+func (d *Dataset) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Merge appends all samples of o into d. Feature dimensions must match.
+func (d *Dataset) Merge(o *Dataset) {
+	if d.Len() > 0 && o.Len() > 0 && d.Dim() != o.Dim() {
+		panic(fmt.Sprintf("ml: merging %d-dim into %d-dim dataset", o.Dim(), d.Dim()))
+	}
+	d.X = append(d.X, o.X...)
+	d.Y = append(d.Y, o.Y...)
+}
+
+// Columns returns a derived dataset keeping only the selected feature
+// columns (used by Fig 9's single-feature trade-off study, where each
+// model is trained on the bias column plus one candidate feature).
+func (d *Dataset) Columns(cols ...int) *Dataset {
+	out := &Dataset{}
+	for _, c := range cols {
+		name := fmt.Sprintf("f%d", c)
+		if c < len(d.FeatureNames) {
+			name = d.FeatureNames[c]
+		}
+		out.FeatureNames = append(out.FeatureNames, name)
+	}
+	for i, row := range d.X {
+		sub := make([]float64, len(cols))
+		for j, c := range cols {
+			sub[j] = row[c]
+		}
+		out.X = append(out.X, sub)
+		out.Y = append(out.Y, d.Y[i])
+	}
+	return out
+}
+
+// WriteJSON serializes the dataset.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(d)
+}
+
+// ReadDatasetJSON deserializes a dataset.
+func ReadDatasetJSON(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("ml: decode dataset: %w", err)
+	}
+	return &d, nil
+}
+
+// SaveModel writes a trained ridge model to a JSON file.
+func SaveModel(path string, m *Ridge) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ml: save model: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("ml: encode model: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadModel reads a ridge model from a JSON file.
+func LoadModel(path string) (*Ridge, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ml: load model: %w", err)
+	}
+	defer f.Close()
+	var m Ridge
+	if err := json.NewDecoder(f).Decode(&m); err != nil {
+		return nil, fmt.Errorf("ml: decode model: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,193 @@
+// Package ml implements the paper's offline learning pipeline (§III-D):
+// Ridge regression fitted by the closed-form normal equations, feature
+// standardization, dataset handling for the train/validation/test trace
+// split, the lambda hyper-parameter sweep, and the evaluation metrics
+// (MSE and mode-selection accuracy) used by Figs 9 and 11.
+//
+// The matrices involved are tiny (the reduced feature set has 5 columns),
+// so the package carries its own dense solver rather than an external
+// dependency: Cholesky for the SPD ridge normal matrix with a pivoted
+// Gaussian-elimination fallback.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("ml: singular system")
+
+// Gram computes G = XᵀX for an n×d row-major design matrix.
+func Gram(X [][]float64) [][]float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	d := len(X[0])
+	G := Zeros(d, d)
+	for _, row := range X {
+		if len(row) != d {
+			panic(fmt.Sprintf("ml: ragged design matrix row (%d vs %d)", len(row), d))
+		}
+		for i := 0; i < d; i++ {
+			ri := row[i]
+			if ri == 0 {
+				continue
+			}
+			gi := G[i]
+			for j := i; j < d; j++ {
+				gi[j] += ri * row[j]
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			G[j][i] = G[i][j]
+		}
+	}
+	return G
+}
+
+// MatTVec computes v = Xᵀy.
+func MatTVec(X [][]float64, y []float64) []float64 {
+	if len(X) != len(y) {
+		panic(fmt.Sprintf("ml: %d rows vs %d targets", len(X), len(y)))
+	}
+	if len(X) == 0 {
+		return nil
+	}
+	d := len(X[0])
+	v := make([]float64, d)
+	for r, row := range X {
+		yr := y[r]
+		for j := 0; j < d; j++ {
+			v[j] += row[j] * yr
+		}
+	}
+	return v
+}
+
+// Zeros returns an r×c zero matrix.
+func Zeros(r, c int) [][]float64 {
+	m := make([][]float64, r)
+	cells := make([]float64, r*c)
+	for i := range m {
+		m[i], cells = cells[:c], cells[c:]
+	}
+	return m
+}
+
+// CloneMatrix deep-copies a matrix.
+func CloneMatrix(m [][]float64) [][]float64 {
+	out := Zeros(len(m), len(m[0]))
+	for i := range m {
+		copy(out[i], m[i])
+	}
+	return out
+}
+
+// SolveSPD solves A x = b for a symmetric positive-definite A using
+// Cholesky decomposition. A and b are not modified.
+func SolveSPD(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("ml: bad SPD system dims (%d, %d)", n, len(b))
+	}
+	// L is lower-triangular with A = L Lᵀ.
+	L := Zeros(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := A[i][j]
+			for k := 0; k < j; k++ {
+				sum -= L[i][k] * L[j][k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrSingular
+				}
+				L[i][i] = math.Sqrt(sum)
+			} else {
+				L[i][j] = sum / L[j][j]
+			}
+		}
+	}
+	// Forward solve L z = b.
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= L[i][k] * z[k]
+		}
+		z[i] = sum / L[i][i]
+	}
+	// Back solve Lᵀ x = z.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := z[i]
+		for k := i + 1; k < n; k++ {
+			sum -= L[k][i] * x[k]
+		}
+		x[i] = sum / L[i][i]
+	}
+	return x, nil
+}
+
+// Solve solves A x = b by Gaussian elimination with partial pivoting.
+// A and b are not modified. It handles general (non-SPD) systems and is
+// the fallback when Cholesky rejects a near-singular normal matrix.
+func Solve(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("ml: bad system dims (%d, %d)", n, len(b))
+	}
+	M := CloneMatrix(A)
+	x := make([]float64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(M[r][col]) > math.Abs(M[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(M[p][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		M[col], M[p] = M[p], M[col]
+		x[col], x[p] = x[p], x[col]
+		inv := 1 / M[col][col]
+		for r := col + 1; r < n; r++ {
+			f := M[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				M[r][c] -= f * M[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for c := i + 1; c < n; c++ {
+			sum -= M[i][c] * x[c]
+		}
+		x[i] = sum / M[i][i]
+	}
+	return x, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("ml: dot of %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,123 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// MSE returns the mean squared error between predictions and targets.
+func MSE(pred, actual []float64) float64 {
+	mustSameLen(pred, actual)
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - actual[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, actual []float64) float64 {
+	mustSameLen(pred, actual)
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		s += math.Abs(pred[i] - actual[i])
+	}
+	return s / float64(len(pred))
+}
+
+// R2 returns the coefficient of determination.
+func R2(pred, actual []float64) float64 {
+	mustSameLen(pred, actual)
+	if len(pred) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range actual {
+		mean += v
+	}
+	mean /= float64(len(actual))
+	var ssRes, ssTot float64
+	for i := range actual {
+		ssRes += (actual[i] - pred[i]) * (actual[i] - pred[i])
+		ssTot += (actual[i] - mean) * (actual[i] - mean)
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// ModeAccuracy is the paper's mode-selection accuracy: the fraction of
+// samples where the predicted label and the true label fall in the same
+// DVFS mode bucket. modeOf maps an IBU value to a mode bucket (the caller
+// passes the Fig 3(b) threshold map).
+func ModeAccuracy(pred, actual []float64, modeOf func(float64) int) float64 {
+	mustSameLen(pred, actual)
+	if len(pred) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range pred {
+		p := pred[i]
+		if p < 0 {
+			p = 0
+		}
+		if modeOf(p) == modeOf(actual[i]) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred))
+}
+
+func mustSameLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("ml: metric over %d vs %d values", len(a), len(b)))
+	}
+}
+
+// Overhead quantifies the runtime cost of label generation (§III-D,
+// "Machine Learning Overhead"): each label is nFeatures multiplies plus
+// nFeatures-1 adds at Horowitz's 16-bit floating-point op costs.
+type Overhead struct {
+	Features  int
+	EnergyPJ  float64
+	AreaMM2   float64
+	CyclesMin int
+	CyclesMax int
+}
+
+// Horowitz op costs (16-bit float, 45nm-scaled as used by the paper).
+const (
+	AddEnergyPJ = 0.4
+	MulEnergyPJ = 1.1
+	AddAreaUM2  = 1360.0
+	MulAreaUM2  = 1640.0
+)
+
+// LabelOverhead computes the per-label cost for a feature count; the
+// paper's 5-feature set costs 7.1 pJ and 0.013 mm² versus 61.1 pJ and
+// 0.122 mm² for the original 41 features.
+func LabelOverhead(nFeatures int) Overhead {
+	if nFeatures < 1 {
+		nFeatures = 1
+	}
+	mults := nFeatures
+	adds := nFeatures - 1
+	return Overhead{
+		Features:  nFeatures,
+		EnergyPJ:  float64(mults)*MulEnergyPJ + float64(adds)*AddEnergyPJ,
+		AreaMM2:   (float64(mults)*MulAreaUM2 + float64(adds)*AddAreaUM2) / 1e6,
+		CyclesMin: 3,
+		CyclesMax: 4,
+	}
+}

@@ -1,0 +1,456 @@
+package ml
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestGram(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}}
+	G := Gram(X)
+	// XtX = [[10, 14], [14, 20]]
+	want := [][]float64{{10, 14}, {14, 20}}
+	for i := range want {
+		for j := range want[i] {
+			if !almostEqual(G[i][j], want[i][j], 1e-12) {
+				t.Fatalf("G[%d][%d] = %g, want %g", i, j, G[i][j], want[i][j])
+			}
+		}
+	}
+	if Gram(nil) != nil {
+		t.Error("empty design should give nil Gram")
+	}
+}
+
+func TestGramSymmetricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := 3+rng.Intn(10), 2+rng.Intn(5)
+		X := make([][]float64, n)
+		for i := range X {
+			X[i] = make([]float64, d)
+			for j := range X[i] {
+				X[i][j] = rng.NormFloat64()
+			}
+		}
+		G := Gram(X)
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				if !almostEqual(G[i][j], G[j][i], 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatTVec(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}}
+	v := MatTVec(X, []float64{1, 1})
+	if v[0] != 4 || v[1] != 6 {
+		t.Fatalf("Xty = %v, want [4 6]", v)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	A := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{3, 5}
+	x, err := Solve(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=3, x+3y=5 -> x=0.8, y=1.4
+	if !almostEqual(x[0], 0.8, 1e-9) || !almostEqual(x[1], 1.4, 1e-9) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	A := [][]float64{{1, 2}, {2, 4}}
+	if _, err := Solve(A, []float64{1, 2}); err == nil {
+		t.Fatal("singular system accepted")
+	}
+}
+
+func TestSolveSPDMatchesGaussian(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(5)
+		// Build SPD A = M^T M + I.
+		M := make([][]float64, d)
+		for i := range M {
+			M[i] = make([]float64, d)
+			for j := range M[i] {
+				M[i][j] = rng.NormFloat64()
+			}
+		}
+		A := Gram(M)
+		for i := 0; i < d; i++ {
+			A[i][i] += 1
+		}
+		b := make([]float64, d)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1, err1 := SolveSPD(A, b)
+		x2, err2 := Solve(A, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range x1 {
+			if !almostEqual(x1[i], x2[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSPDRejectsIndefinite(t *testing.T) {
+	A := [][]float64{{1, 0}, {0, -1}}
+	if _, err := SolveSPD(A, []float64{1, 1}); err == nil {
+		t.Fatal("indefinite matrix accepted by Cholesky")
+	}
+}
+
+func TestDot(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("dot product wrong")
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestRidgeRecoversExactLinear(t *testing.T) {
+	// y = 2 + 3a - b exactly; lambda 0 must recover the coefficients.
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		X = append(X, []float64{1, a, b})
+		y = append(y, 2+3*a-b)
+	}
+	m, err := FitRidge(X, y, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.Weights[0], 2, 1e-6) || !almostEqual(m.Weights[1], 3, 1e-6) || !almostEqual(m.Weights[2], -1, 1e-6) {
+		t.Fatalf("weights = %v, want [2 3 -1]", m.Weights)
+	}
+	if !almostEqual(m.Predict([]float64{1, 1, 1}), 4, 1e-6) {
+		t.Fatal("prediction wrong")
+	}
+}
+
+func TestRidgeShrinksWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		a := rng.NormFloat64()
+		X = append(X, []float64{1, a})
+		y = append(y, 5*a+0.1*rng.NormFloat64())
+	}
+	m0, _ := FitRidge(X, y, 0, nil)
+	m9, _ := FitRidge(X, y, 1000, nil)
+	if math.Abs(m9.Weights[1]) >= math.Abs(m0.Weights[1]) {
+		t.Fatalf("lambda must shrink the slope: %g vs %g", m9.Weights[1], m0.Weights[1])
+	}
+}
+
+func TestRidgeBiasUnpenalized(t *testing.T) {
+	// With a huge lambda, slopes vanish but the bias still tracks the
+	// target mean.
+	var X [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		X = append(X, []float64{1, rng.NormFloat64()})
+		y = append(y, 7.0)
+	}
+	m, err := FitRidge(X, y, 1e9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.Weights[0], 7, 1e-3) {
+		t.Fatalf("bias = %g, want ~7 (unpenalized)", m.Weights[0])
+	}
+}
+
+func TestRidgeErrors(t *testing.T) {
+	if _, err := FitRidge(nil, nil, 0, nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := FitRidge([][]float64{{1}}, []float64{1, 2}, 0, nil); err == nil {
+		t.Error("row/target mismatch accepted")
+	}
+	if _, err := FitRidge([][]float64{{1}}, []float64{1}, -1, nil); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+func TestRidgeWithScaler(t *testing.T) {
+	// Badly scaled features: the scaler makes the fit robust and Predict
+	// must apply the same transform.
+	rng := rand.New(rand.NewSource(4))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		a := 1e6 + 1e3*rng.NormFloat64()
+		X = append(X, []float64{1, a})
+		y = append(y, a/1e3)
+	}
+	sc := FitScaler(X)
+	m, err := FitRidge(X, y, 1e-6, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict([]float64{1, 1e6})
+	if !almostEqual(pred, 1000, 1.0) {
+		t.Fatalf("scaled prediction = %g, want ~1000", pred)
+	}
+}
+
+func TestScalerStats(t *testing.T) {
+	X := [][]float64{{1, 2}, {1, 4}, {1, 6}}
+	s := FitScaler(X)
+	if s.Mean[1] != 4 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if !almostEqual(s.Std[1], math.Sqrt(8.0/3.0), 1e-9) {
+		t.Fatalf("std = %v", s.Std)
+	}
+	// Constant (bias) column passes through unchanged.
+	if s.Mean[0] != 0 || s.Std[0] != 1 {
+		t.Fatalf("bias column transformed: mean=%g std=%g", s.Mean[0], s.Std[0])
+	}
+	tr := s.Transform([]float64{1, 4})
+	if tr[0] != 1 || tr[1] != 0 {
+		t.Fatalf("transform = %v", tr)
+	}
+	all := s.TransformAll(X)
+	if len(all) != 3 {
+		t.Fatal("TransformAll length wrong")
+	}
+	if FitScaler(nil) != nil {
+		t.Error("empty scaler should be nil")
+	}
+}
+
+func TestDatasetBasics(t *testing.T) {
+	d := NewDataset([]string{"bias", "x"})
+	d.Add([]float64{1, 2}, 3)
+	d.Add([]float64{1, 4}, 5)
+	if d.Len() != 2 || d.Dim() != 2 {
+		t.Fatalf("len/dim = %d/%d", d.Len(), d.Dim())
+	}
+	// Add copies rows.
+	row := []float64{1, 9}
+	d.Add(row, 0)
+	row[1] = -1
+	if d.X[2][1] != 9 {
+		t.Fatal("Add did not copy the row")
+	}
+	var e Dataset
+	e.Merge(d)
+	if e.Len() != 3 {
+		t.Fatal("merge failed")
+	}
+	cols := d.Columns(0)
+	if cols.Dim() != 1 || cols.Len() != 3 || cols.FeatureNames[0] != "bias" {
+		t.Fatalf("Columns = %+v", cols)
+	}
+}
+
+func TestDatasetJSONRoundTrip(t *testing.T) {
+	d := NewDataset([]string{"a"})
+	d.Add([]float64{1.5}, 2.5)
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDatasetJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.X[0][0] != 1.5 || got.Y[0] != 2.5 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestModelSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	m := &Ridge{Weights: []float64{1, 2, 3}, Lambda: 0.5, Scaler: &Scaler{Mean: []float64{0, 1, 2}, Std: []float64{1, 1, 1}}}
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lambda != 0.5 || len(got.Weights) != 3 || got.Scaler == nil {
+		t.Fatalf("loaded = %+v", got)
+	}
+	if _, err := LoadModel(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file load succeeded")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	act := []float64{1, 2, 5}
+	if !almostEqual(MSE(pred, act), 4.0/3.0, 1e-12) {
+		t.Errorf("MSE = %g", MSE(pred, act))
+	}
+	if !almostEqual(MAE(pred, act), 2.0/3.0, 1e-12) {
+		t.Errorf("MAE = %g", MAE(pred, act))
+	}
+	if R2(act, act) != 1 {
+		t.Error("perfect R2 should be 1")
+	}
+	if MSE(nil, nil) != 0 || MAE(nil, nil) != 0 || R2(nil, nil) != 0 {
+		t.Error("empty metrics should be 0")
+	}
+}
+
+func TestModeAccuracy(t *testing.T) {
+	modeOf := func(v float64) int {
+		if v < 0.5 {
+			return 0
+		}
+		return 1
+	}
+	pred := []float64{0.1, 0.9, 0.6, -0.2}
+	act := []float64{0.2, 0.8, 0.1, 0.3}
+	// buckets: 0==0 hit, 1==1 hit, 1!=0 miss, clamp(-0.2)=0==0 hit.
+	if got := ModeAccuracy(pred, act, modeOf); !almostEqual(got, 0.75, 1e-12) {
+		t.Fatalf("accuracy = %g, want 0.75", got)
+	}
+}
+
+func TestTuneLambdaPicksValidationBest(t *testing.T) {
+	// Train data with noise: a mid lambda should beat extremes on a
+	// differently-seeded validation set... at minimum the chosen lambda
+	// must have the minimum recorded validation MSE.
+	rng := rand.New(rand.NewSource(5))
+	mk := func(n int) *Dataset {
+		d := NewDataset(nil)
+		for i := 0; i < n; i++ {
+			a := rng.NormFloat64()
+			d.Add([]float64{1, a, rng.NormFloat64()}, 2*a+rng.NormFloat64()*0.5)
+		}
+		return d
+	}
+	train, val := mk(200), mk(100)
+	rep, err := TuneLambda(train, val, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Sweep {
+		if p.ValMSE < rep.BestVal.ValMSE-1e-12 {
+			t.Fatalf("lambda %g has lower val MSE than chosen %g", p.Lambda, rep.BestVal.Lambda)
+		}
+	}
+	if rep.Best == nil {
+		t.Fatal("no model chosen")
+	}
+}
+
+func TestTuneLambdaSkipsSingularZero(t *testing.T) {
+	// A constant zero column makes lambda=0 singular; the sweep must
+	// skip it and still produce a model.
+	d := NewDataset(nil)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 50; i++ {
+		a := rng.NormFloat64()
+		d.Add([]float64{1, a, 0}, a)
+	}
+	rep, err := TuneLambda(d, d, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestVal.Lambda != 1 {
+		t.Fatalf("chosen lambda = %g, want 1 (0 is singular)", rep.BestVal.Lambda)
+	}
+}
+
+func TestTuneLambdaErrors(t *testing.T) {
+	empty := NewDataset(nil)
+	full := NewDataset(nil)
+	full.Add([]float64{1}, 1)
+	if _, err := TuneLambda(empty, full, nil); err == nil {
+		t.Error("empty train accepted")
+	}
+	if _, err := TuneLambda(full, empty, nil); err == nil {
+		t.Error("empty validation accepted")
+	}
+}
+
+func TestLabelOverheadMatchesPaper(t *testing.T) {
+	r := LabelOverhead(5)
+	if !almostEqual(r.EnergyPJ, 7.1, 1e-9) {
+		t.Errorf("5-feature energy = %g pJ, paper says 7.1", r.EnergyPJ)
+	}
+	if !almostEqual(r.AreaMM2, 0.0136, 1e-3) {
+		t.Errorf("5-feature area = %g mm2, paper says 0.013", r.AreaMM2)
+	}
+	o := LabelOverhead(41)
+	if !almostEqual(o.EnergyPJ, 61.1, 1e-9) {
+		t.Errorf("41-feature energy = %g pJ, paper says 61.1", o.EnergyPJ)
+	}
+	if !almostEqual(o.AreaMM2, 0.1216, 1e-3) {
+		t.Errorf("41-feature area = %g mm2, paper says 0.122", o.AreaMM2)
+	}
+	if LabelOverhead(0).Features != 1 {
+		t.Error("feature floor wrong")
+	}
+}
+
+func TestRidgeEqualsOLSAtZeroLambdaProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var X [][]float64
+		var y []float64
+		w := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		for i := 0; i < 60; i++ {
+			row := []float64{1, rng.NormFloat64(), rng.NormFloat64()}
+			X = append(X, row)
+			y = append(y, Dot(w, row))
+		}
+		m, err := FitRidge(X, y, 0, nil)
+		if err != nil {
+			return false
+		}
+		for i := range w {
+			if !almostEqual(m.Weights[i], w[i], 1e-5) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ridge is a linear model y = w·x fitted by Ridge regression:
+//
+//	E(w) = 1/2 Σ (w·xₙ - tₙ)² + λ/2 Σⱼ wⱼ²
+//
+// minimized in closed form by (XᵀX + λI) w = Xᵀy. Following common
+// practice the bias column (feature 1, the "array of 1's" of Table IV) is
+// exempt from the penalty.
+type Ridge struct {
+	Weights []float64 `json:"weights"`
+	Lambda  float64   `json:"lambda"`
+	Scaler  *Scaler   `json:"scaler,omitempty"`
+}
+
+// BiasColumn is the index of the unpenalized bias feature.
+const BiasColumn = 0
+
+// FitRidge fits a ridge model to an n×d design matrix and n targets.
+// If scaler is non-nil the rows are standardized through it before
+// fitting, and Predict applies the same transform.
+func FitRidge(X [][]float64, y []float64, lambda float64, scaler *Scaler) (*Ridge, error) {
+	if len(X) == 0 {
+		return nil, errors.New("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("ml: %d rows vs %d targets", len(X), len(y))
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("ml: negative lambda %g", lambda)
+	}
+	rows := X
+	if scaler != nil {
+		rows = scaler.TransformAll(X)
+	}
+	G := Gram(rows)
+	for j := range G {
+		if j != BiasColumn {
+			G[j][j] += lambda
+		}
+	}
+	v := MatTVec(rows, y)
+	w, err := SolveSPD(G, v)
+	if err != nil {
+		// The normal matrix can lose positive-definiteness to rounding
+		// when features are collinear; fall back to pivoted elimination.
+		w, err = Solve(G, v)
+		if err != nil {
+			return nil, fmt.Errorf("ml: ridge fit: %w", err)
+		}
+	}
+	return &Ridge{Weights: w, Lambda: lambda, Scaler: scaler}, nil
+}
+
+// Predict evaluates the model on one raw (unscaled) feature vector.
+func (m *Ridge) Predict(x []float64) float64 {
+	if m.Scaler != nil {
+		x = m.Scaler.Transform(x)
+	}
+	return Dot(m.Weights, x)
+}
+
+// PredictAll evaluates the model on every row of X.
+func (m *Ridge) PredictAll(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = m.Predict(row)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package ml
+
+import "math"
+
+// Scaler standardizes feature columns to zero mean and unit variance,
+// skipping the bias column. Constant columns pass through unchanged (their
+// std is forced to 1 so the transform is the identity shift; the bias then
+// absorbs their mean through the fitted weights).
+type Scaler struct {
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+}
+
+// FitScaler learns column statistics from an n×d design matrix.
+func FitScaler(X [][]float64) *Scaler {
+	if len(X) == 0 {
+		return nil
+	}
+	d := len(X[0])
+	s := &Scaler{Mean: make([]float64, d), Std: make([]float64, d)}
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			dv := v - s.Mean[j]
+			s.Std[j] += dv * dv
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+			s.Mean[j] = 0 // leave constant columns (e.g. the bias) intact
+		}
+	}
+	return s
+}
+
+// Transform returns a standardized copy of one feature vector.
+func (s *Scaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// TransformAll standardizes every row of X into a new matrix.
+func (s *Scaler) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.Transform(row)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DefaultLambdas is the hyper-parameter grid swept during validation
+// (§III-D tunes λ "until the best-fitting solution is found").
+var DefaultLambdas = []float64{0, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100, 1000}
+
+// LambdaResult records one sweep point.
+type LambdaResult struct {
+	Lambda   float64
+	ValMSE   float64
+	TrainMSE float64
+}
+
+// TrainReport is the outcome of TuneLambda.
+type TrainReport struct {
+	Best    *Ridge
+	BestVal LambdaResult
+	Sweep   []LambdaResult
+}
+
+// TuneLambda fits one ridge model per candidate λ on the training set and
+// selects the one minimizing validation MSE, mirroring the paper's
+// 6-train/3-validation trace protocol. Features are standardized with
+// statistics fitted on the training set only.
+func TuneLambda(train, val *Dataset, lambdas []float64) (*TrainReport, error) {
+	if train.Len() == 0 {
+		return nil, errors.New("ml: empty training set")
+	}
+	if val.Len() == 0 {
+		return nil, errors.New("ml: empty validation set")
+	}
+	if len(lambdas) == 0 {
+		lambdas = DefaultLambdas
+	}
+	scaler := FitScaler(train.X)
+	rep := &TrainReport{}
+	for _, lam := range lambdas {
+		m, err := FitRidge(train.X, train.Y, lam, scaler)
+		if errors.Is(err, ErrSingular) {
+			// λ=0 with a constant (e.g. all-zero off-time under a
+			// no-power-gating model) feature column has no unique OLS
+			// solution; skip the grid point, ridge points regularize it.
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ml: lambda %g: %w", lam, err)
+		}
+		res := LambdaResult{
+			Lambda:   lam,
+			ValMSE:   MSE(m.PredictAll(val.X), val.Y),
+			TrainMSE: MSE(m.PredictAll(train.X), train.Y),
+		}
+		rep.Sweep = append(rep.Sweep, res)
+		if rep.Best == nil || res.ValMSE < rep.BestVal.ValMSE {
+			rep.Best, rep.BestVal = m, res
+		}
+	}
+	if rep.Best == nil {
+		return nil, errors.New("ml: every lambda produced a singular system")
+	}
+	sort.Slice(rep.Sweep, func(i, j int) bool { return rep.Sweep[i].Lambda < rep.Sweep[j].Lambda })
+	return rep, nil
+}

@@ -1,0 +1,382 @@
+// Package network assembles routers into a mesh/cmesh fabric: it wires
+// links, performs look-ahead route computation on every forwarded flit,
+// returns credits, runs per-core injection queues, and maintains the
+// downstream-securing counters that drive DozzNoC's partially non-blocking
+// power-gating (§III-B): a router with any upstream packet routed toward it
+// is "secured" and may not power off; if it is off, it receives an
+// immediate wake punch.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/router"
+	"repro/internal/topology"
+)
+
+// PowerView is the network's window into the power-management layer.
+type PowerView interface {
+	// CanAccept reports whether a router may receive flits this cycle
+	// (it is in the active state and not paused for a voltage switch).
+	CanAccept(routerID int) bool
+	// WakeRequest asks the power manager to wake a router if it is
+	// power-gated; it must be a no-op for routers already awake.
+	WakeRequest(routerID int)
+}
+
+// Sink observes packet deliveries.
+type Sink interface {
+	// PacketDelivered fires when the tail flit of p ejects at core.
+	PacketDelivered(p *flit.Packet, core int, now int64)
+}
+
+// HopObserver is charged for every flit movement (dynamic energy).
+type HopObserver interface {
+	// FlitHopped fires when router routerID forwards or ejects a flit.
+	FlitHopped(routerID int)
+}
+
+// transit is one flit in flight on an inter-router link.
+type transit struct {
+	deliverAt int64
+	dst       int // destination router
+	inPort    int
+	vc        int
+	f         *flit.Flit
+}
+
+// injState serializes one core's packets into its router's local port.
+type injState struct {
+	queue   []*flit.Packet
+	flits   []*flit.Flit // flits of the packet currently being injected
+	nextSeq int
+	vc      int // VC claimed for the in-flight packet, -1 if none
+}
+
+// Network is the assembled fabric.
+type Network struct {
+	Topo    topology.Topology
+	Routers []*router.Router
+
+	pv   PowerView
+	sink Sink
+	hop  HopObserver
+
+	// linkTicks is the inter-router wire latency in base ticks; 0 means
+	// flits arrive within the sending cycle.
+	linkTicks int64
+	wire      []transit // FIFO: all sends at tick t arrive at t+linkTicks
+
+	inj     []injState
+	secured []int // securing count per router
+
+	// cumulative per-core request counters (feature inputs)
+	coreSentReq []int64
+	coreRecvReq []int64
+
+	flitsDelivered   int64
+	packetsDelivered int64
+	flitsInjected    int64
+	packetsInjected  int64
+
+	now int64 // current base tick, set by the engine each tick
+}
+
+// New builds the fabric for a topology with the given router configuration
+// template (Ports/LocalPorts are derived from the topology). Inter-router
+// links deliver within the sending cycle; use SetLinkTicks for a wire
+// latency.
+func New(topo topology.Topology, vcs, depth, pipeline int, pv PowerView, sink Sink, hop HopObserver) *Network {
+	cfg := router.Config{
+		Ports:      topo.PortsPerRouter(),
+		LocalPorts: topo.Concentration(),
+		VCs:        vcs,
+		Depth:      depth,
+		Pipeline:   pipeline,
+	}
+	n := &Network{
+		Topo:        topo,
+		pv:          pv,
+		sink:        sink,
+		hop:         hop,
+		inj:         make([]injState, topo.NumCores()),
+		secured:     make([]int, topo.NumRouters()),
+		coreSentReq: make([]int64, topo.NumCores()),
+		coreRecvReq: make([]int64, topo.NumCores()),
+	}
+	for i := range n.inj {
+		n.inj[i].vc = -1
+	}
+	n.Routers = make([]*router.Router, topo.NumRouters())
+	for i := range n.Routers {
+		n.Routers[i] = router.New(i, cfg)
+	}
+	return n
+}
+
+// SetTick tells the network the current base tick (used to stamp packet
+// injection/ejection times).
+func (n *Network) SetTick(now int64) { n.now = now }
+
+// SetLinkTicks sets the inter-router wire latency in base ticks. Call it
+// before any traffic flows.
+func (n *Network) SetLinkTicks(t int64) {
+	if t < 0 {
+		panic(fmt.Sprintf("network: negative link latency %d", t))
+	}
+	n.linkTicks = t
+}
+
+// DeliverDue lands every in-flight flit whose wire latency has elapsed;
+// the engine calls it once per tick before cycling routers. A no-op when
+// the link latency is zero (sends deliver inline).
+func (n *Network) DeliverDue() {
+	for len(n.wire) > 0 && n.wire[0].deliverAt <= n.now {
+		t := n.wire[0]
+		n.wire = n.wire[1:]
+		if len(n.wire) == 0 {
+			n.wire = nil
+		}
+		n.land(t.dst, t.inPort, t.vc, t.f)
+	}
+}
+
+// land places a flit into its destination router and, for tails, releases
+// the securing claim on that router (the packet now fully resides there,
+// so its buffers keep it awake).
+func (n *Network) land(dst, inPort, vc int, f *flit.Flit) {
+	out, nn, _ := topology.Lookahead(n.Topo, dst, f.Pkt.DstCore)
+	f.OutPort, f.NextRouter = out, nn
+	n.Routers[dst].AcceptFlit(n, inPort, vc, f)
+	if f.Tail {
+		n.unsecure(dst)
+	}
+}
+
+// Inject queues a packet at its source core. The source router becomes
+// secured (and is punched awake if gated) until the packet's tail flit has
+// entered the network.
+func (n *Network) Inject(p *flit.Packet) {
+	if p.SrcCore < 0 || p.SrcCore >= n.Topo.NumCores() {
+		panic(fmt.Sprintf("network: bad source core %d", p.SrcCore))
+	}
+	st := &n.inj[p.SrcCore]
+	st.queue = append(st.queue, p)
+	r := n.Topo.RouterOf(p.SrcCore)
+	n.secure(r)
+}
+
+// QueuedPackets returns the number of packets waiting (or mid-injection)
+// at a core.
+func (n *Network) QueuedPackets(core int) int {
+	st := &n.inj[core]
+	q := len(st.queue)
+	if st.flits != nil {
+		q++
+	}
+	return q
+}
+
+// TotalQueued returns packets waiting across all cores.
+func (n *Network) TotalQueued() int {
+	total := 0
+	for c := range n.inj {
+		total += n.QueuedPackets(c)
+	}
+	return total
+}
+
+// InFlight reports whether any flit is buffered anywhere, riding a link,
+// or queued for injection (used to detect drain completion).
+func (n *Network) InFlight() bool {
+	if len(n.wire) > 0 {
+		return true
+	}
+	for _, r := range n.Routers {
+		if !r.BuffersEmpty() {
+			return true
+		}
+	}
+	return n.TotalQueued() > 0
+}
+
+// Secured reports whether a router currently holds securing claims.
+func (n *Network) Secured(routerID int) bool { return n.secured[routerID] > 0 }
+
+func (n *Network) secure(routerID int) {
+	n.secured[routerID]++
+	n.pv.WakeRequest(routerID)
+}
+
+func (n *Network) unsecure(routerID int) {
+	n.secured[routerID]--
+	if n.secured[routerID] < 0 {
+		panic(fmt.Sprintf("network: securing underflow on router %d", routerID))
+	}
+}
+
+// Counters.
+func (n *Network) FlitsDelivered() int64   { return n.flitsDelivered }
+func (n *Network) PacketsDelivered() int64 { return n.packetsDelivered }
+func (n *Network) FlitsInjected() int64    { return n.flitsInjected }
+func (n *Network) PacketsInjected() int64  { return n.packetsInjected }
+
+// CoreSentRequests and CoreRecvRequests return cumulative request-packet
+// counters for one core (Table IV features 2 and 3 take per-epoch deltas).
+func (n *Network) CoreSentRequests(core int) int64 { return n.coreSentReq[core] }
+func (n *Network) CoreRecvRequests(core int) int64 { return n.coreRecvReq[core] }
+
+// RouterCycle runs one local cycle of a router: injection from its attached
+// cores, then switch allocation/traversal. The engine must only call it for
+// routers whose power state allows operation.
+func (n *Network) RouterCycle(routerID int) {
+	n.injectInto(routerID)
+	n.Routers[routerID].Cycle(n)
+}
+
+// injectInto moves at most one flit per local port from each attached
+// core's source queue into the router's input buffers.
+func (n *Network) injectInto(routerID int) {
+	r := n.Routers[routerID]
+	c0 := routerID * n.Topo.Concentration()
+	for lp := 0; lp < n.Topo.Concentration(); lp++ {
+		n.injectCore(r, c0+lp, lp)
+	}
+}
+
+func (n *Network) injectCore(r *router.Router, core, localPort int) {
+	st := &n.inj[core]
+	if st.flits == nil {
+		if len(st.queue) == 0 {
+			return
+		}
+		p := st.queue[0]
+		// Claim a VC in the packet's message class with room for the head.
+		vc, ok := n.pickInjVC(r, localPort, p.Kind)
+		if !ok {
+			return
+		}
+		st.queue = st.queue[1:]
+		if len(st.queue) == 0 {
+			st.queue = nil
+		}
+		st.flits = flit.Flits(p)
+		st.nextSeq = 0
+		st.vc = vc
+		p.Injected = n.now
+		n.packetsInjected++
+		if p.Kind == flit.Request {
+			n.coreSentReq[core]++
+		}
+	}
+	if !r.HasSpace(localPort, st.vc) {
+		return
+	}
+	f := st.flits[st.nextSeq]
+	// Look-ahead route for this router.
+	out, next, _ := topology.Lookahead(n.Topo, r.ID, f.Pkt.DstCore)
+	f.OutPort, f.NextRouter = out, next
+	r.AcceptFlit(n, localPort, st.vc, f)
+	n.flitsInjected++
+	st.nextSeq++
+	if st.nextSeq == len(st.flits) {
+		// Tail has entered the network: release the source router's
+		// securing claim for this packet.
+		st.flits = nil
+		st.vc = -1
+		n.unsecure(r.ID)
+	}
+}
+
+// pickInjVC chooses an injection VC with space within the kind's class.
+func (n *Network) pickInjVC(r *router.Router, localPort int, k flit.Kind) (int, bool) {
+	lo, hi := r.Config().VCClassRange(k)
+	for v := lo; v < hi; v++ {
+		if r.HasSpace(localPort, v) {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// --- router.Env implementation ---
+
+var _ router.Env = (*Network)(nil)
+
+// ForwardFlit wires output port outPort of r to the opposite input port of
+// the neighbor, computing the look-ahead route for the next hop. With a
+// nonzero link latency the flit rides the wire and lands in DeliverDue.
+func (n *Network) ForwardFlit(r *router.Router, outPort, outVC int, f *flit.Flit) {
+	next := n.Topo.Neighbor(r.ID, outPort)
+	if next < 0 {
+		panic(fmt.Sprintf("network: router %d forwarded out of edge port %d", r.ID, outPort))
+	}
+	inPort := topology.OppositePort(n.Topo, outPort)
+	if n.linkTicks == 0 {
+		n.land(next, inPort, outVC, f)
+		return
+	}
+	n.wire = append(n.wire, transit{deliverAt: n.now + n.linkTicks, dst: next, inPort: inPort, vc: outVC, f: f})
+}
+
+// EjectFlit consumes a flit at a local port; tails complete the packet.
+func (n *Network) EjectFlit(r *router.Router, localPort int, f *flit.Flit) {
+	n.flitsDelivered++
+	if !f.Tail {
+		return
+	}
+	core := n.Topo.CoreAt(r.ID, localPort)
+	p := f.Pkt
+	p.Ejected = n.now
+	n.packetsDelivered++
+	if p.Kind == flit.Request {
+		n.coreRecvReq[core]++
+	}
+	if n.sink != nil {
+		n.sink.PacketDelivered(p, core, n.now)
+	}
+}
+
+// CreditFreed returns a credit to the upstream router; injection ports
+// need none (the source queue polls HasSpace).
+func (n *Network) CreditFreed(r *router.Router, inPort, vc int) {
+	if r.IsLocalPort(inPort) {
+		return
+	}
+	up := n.Topo.Neighbor(r.ID, inPort)
+	if up < 0 {
+		panic(fmt.Sprintf("network: credit from edge port %d of router %d", inPort, r.ID))
+	}
+	n.Routers[up].Credit(topology.OppositePort(n.Topo, inPort), vc)
+}
+
+// CanForward gates transmission on the downstream router being able to
+// accept flits (active, not switching).
+func (n *Network) CanForward(r *router.Router, outPort int) bool {
+	next := n.Topo.Neighbor(r.ID, outPort)
+	if next < 0 {
+		return false
+	}
+	return n.pv.CanAccept(next)
+}
+
+// HeadAccepted secures (and punch-wakes) the downstream router of a newly
+// buffered packet.
+func (n *Network) HeadAccepted(r *router.Router, f *flit.Flit) {
+	if f.NextRouter >= 0 {
+		n.secure(f.NextRouter)
+	}
+}
+
+// TailForwarded is a router-side notification; the securing claim on the
+// downstream router is released when the tail *lands* there (see land),
+// so a router can never gate with a packet still on its incoming wire.
+func (n *Network) TailForwarded(r *router.Router, outPort int, f *flit.Flit) {}
+
+// FlitMoved bills a dynamic-energy hop at the moving router.
+func (n *Network) FlitMoved(r *router.Router, f *flit.Flit) {
+	if n.hop != nil {
+		n.hop.FlitHopped(r.ID)
+	}
+}

@@ -1,0 +1,305 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/topology"
+)
+
+// testPV is an all-awake PowerView with controllable gated routers.
+type testPV struct {
+	gated map[int]bool
+	wakes []int
+}
+
+func newTestPV() *testPV { return &testPV{gated: map[int]bool{}} }
+
+func (pv *testPV) CanAccept(r int) bool { return !pv.gated[r] }
+func (pv *testPV) WakeRequest(r int)    { pv.wakes = append(pv.wakes, r) }
+
+// testSink records deliveries.
+type testSink struct {
+	delivered []*flit.Packet
+	cores     []int
+}
+
+func (s *testSink) PacketDelivered(p *flit.Packet, core int, now int64) {
+	s.delivered = append(s.delivered, p)
+	s.cores = append(s.cores, core)
+}
+
+// hopCounter counts hops per router.
+type hopCounter struct{ hops map[int]int }
+
+func (h *hopCounter) FlitHopped(r int) {
+	if h.hops == nil {
+		h.hops = map[int]int{}
+	}
+	h.hops[r]++
+}
+
+func buildNet(t *testing.T, topo topology.Topology) (*Network, *testPV, *testSink, *hopCounter) {
+	t.Helper()
+	pv := newTestPV()
+	sink := &testSink{}
+	hop := &hopCounter{}
+	n := New(topo, 2, 4, 1, pv, sink, hop)
+	return n, pv, sink, hop
+}
+
+// runAll cycles every router once, in ID order, at the given tick.
+func runAll(n *Network, tick int64) {
+	n.SetTick(tick)
+	for r := range n.Routers {
+		n.RouterCycle(r)
+	}
+}
+
+func TestDeliverySameRouterCMesh(t *testing.T) {
+	topo := topology.NewCMesh(4, 4)
+	n, _, sink, _ := buildNet(t, topo)
+	p := flit.New(1, topo.CoreAt(5, 0), topo.CoreAt(5, 3), flit.Request, 0)
+	n.Inject(p)
+	for tick := int64(0); tick < 10 && len(sink.delivered) == 0; tick++ {
+		runAll(n, tick)
+	}
+	if len(sink.delivered) != 1 {
+		t.Fatal("same-router packet not delivered")
+	}
+	if sink.cores[0] != topo.CoreAt(5, 3) {
+		t.Fatalf("delivered to core %d", sink.cores[0])
+	}
+	if p.Ejected < 0 || p.Injected < 0 {
+		t.Error("timestamps not stamped")
+	}
+}
+
+func TestDeliveryAcrossMesh(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	n, _, sink, hop := buildNet(t, topo)
+	src := topo.CoreAt(topo.RouterAt(0, 0), 0)
+	dst := topo.CoreAt(topo.RouterAt(3, 3), 0)
+	p := flit.New(1, src, dst, flit.Response, 0)
+	n.Inject(p)
+	for tick := int64(0); tick < 100 && len(sink.delivered) == 0; tick++ {
+		runAll(n, tick)
+	}
+	if len(sink.delivered) != 1 {
+		t.Fatal("cross-mesh packet not delivered")
+	}
+	// 6 hops + ejection router: every packet flit hops 7 routers; 5 flits
+	// -> 35 hops.
+	total := 0
+	for _, h := range hop.hops {
+		total += h
+	}
+	if total != 35 {
+		t.Fatalf("hop count = %d, want 35 (5 flits x 7 routers)", total)
+	}
+	if !n.InFlight() == false && n.TotalQueued() != 0 {
+		t.Error("network should be drained")
+	}
+}
+
+func TestFlitConservation(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	n, _, sink, _ := buildNet(t, topo)
+	var want int64
+	for i := 0; i < 40; i++ {
+		src := i % topo.NumCores()
+		dst := (i*7 + 3) % topo.NumCores()
+		if src == dst {
+			continue
+		}
+		kind := flit.Request
+		if i%3 == 0 {
+			kind = flit.Response
+		}
+		n.Inject(flit.New(uint64(i), src, dst, kind, 0))
+		want++
+	}
+	for tick := int64(0); tick < 2000 && n.InFlight(); tick++ {
+		runAll(n, tick)
+	}
+	if n.InFlight() {
+		t.Fatal("network failed to drain")
+	}
+	if int64(len(sink.delivered)) != want {
+		t.Fatalf("delivered %d packets, want %d", len(sink.delivered), want)
+	}
+	if n.PacketsDelivered() != want || n.PacketsInjected() != want {
+		t.Fatalf("counters: injected %d delivered %d, want %d", n.PacketsInjected(), n.PacketsDelivered(), want)
+	}
+}
+
+func TestSecuringLifecycle(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	n, pv, _, _ := buildNet(t, topo)
+	src := topo.CoreAt(topo.RouterAt(0, 0), 0)
+	dst := topo.CoreAt(topo.RouterAt(2, 0), 0)
+	srcR := topo.RouterOf(src)
+
+	// Injection secures the source router and requests a wake.
+	n.Inject(flit.New(1, src, dst, flit.Request, 0))
+	if !n.Secured(srcR) {
+		t.Fatal("source router must be secured after Inject")
+	}
+	if len(pv.wakes) == 0 || pv.wakes[0] != srcR {
+		t.Fatal("source router did not receive a wake request")
+	}
+
+	// Drain; securing must be fully released everywhere.
+	for tick := int64(0); tick < 100 && n.InFlight(); tick++ {
+		runAll(n, tick)
+	}
+	for r := 0; r < topo.NumRouters(); r++ {
+		if n.Secured(r) {
+			t.Fatalf("router %d still secured after drain", r)
+		}
+	}
+}
+
+func TestHeadAcceptSecuresDownstream(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	pv := newTestPV()
+	// Pipeline 3 keeps the freshly injected head parked in router 0 for
+	// this cycle, so its downstream claim is observable.
+	n := New(topo, 2, 4, 3, pv, &testSink{}, &hopCounter{})
+	src := topo.CoreAt(topo.RouterAt(0, 0), 0)
+	dst := topo.CoreAt(topo.RouterAt(3, 0), 0)
+	n.Inject(flit.New(1, src, dst, flit.Request, 0))
+	n.SetTick(0)
+	n.RouterCycle(topo.RouterOf(src)) // head flit enters router 0
+	next := topo.RouterAt(1, 0)
+	if !n.Secured(next) {
+		t.Fatal("downstream router not secured after head acceptance")
+	}
+	// The wake list must include the downstream router.
+	found := false
+	for _, w := range pv.wakes {
+		if w == next {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("downstream router not punched awake")
+	}
+}
+
+func TestGatedDownstreamBlocksTransfer(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	n, pv, sink, _ := buildNet(t, topo)
+	src := topo.CoreAt(topo.RouterAt(0, 0), 0)
+	dst := topo.CoreAt(topo.RouterAt(2, 0), 0)
+	mid := topo.RouterAt(1, 0)
+	pv.gated[mid] = true
+
+	n.Inject(flit.New(1, src, dst, flit.Request, 0))
+	for tick := int64(0); tick < 50; tick++ {
+		runAll(n, tick)
+	}
+	if len(sink.delivered) != 0 {
+		t.Fatal("packet crossed a gated router")
+	}
+	// The flit must be parked in router (0,0).
+	if n.Routers[topo.RouterAt(0, 0)].BuffersEmpty() {
+		t.Fatal("flit not held at the upstream router")
+	}
+	pv.gated[mid] = false
+	for tick := int64(50); tick < 100 && len(sink.delivered) == 0; tick++ {
+		runAll(n, tick)
+	}
+	if len(sink.delivered) != 1 {
+		t.Fatal("packet not delivered after ungating")
+	}
+}
+
+func TestInjectionBackpressure(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	n, pv, _, _ := buildNet(t, topo)
+	src := topo.CoreAt(topo.RouterAt(0, 0), 0)
+	dst := topo.CoreAt(topo.RouterAt(3, 3), 0)
+	// Gate the first hop so nothing drains; queue many packets.
+	pv.gated[topo.RouterAt(1, 0)] = true
+	for i := 0; i < 10; i++ {
+		n.Inject(flit.New(uint64(i), src, dst, flit.Request, 0))
+	}
+	for tick := int64(0); tick < 20; tick++ {
+		runAll(n, tick)
+	}
+	// The local input VC holds at most Depth=4 flits; the rest must wait
+	// in the source queue, and the source router stays secured.
+	if q := n.QueuedPackets(src); q < 6 {
+		t.Fatalf("source queue drained too far: %d left", q)
+	}
+	if !n.Secured(topo.RouterAt(0, 0)) {
+		t.Fatal("source router must stay secured while packets wait")
+	}
+}
+
+func TestCoreRequestCounters(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	n, _, _, _ := buildNet(t, topo)
+	src := topo.CoreAt(topo.RouterAt(0, 0), 0)
+	dst := topo.CoreAt(topo.RouterAt(1, 0), 0)
+	n.Inject(flit.New(1, src, dst, flit.Request, 0))
+	n.Inject(flit.New(2, src, dst, flit.Response, 0))
+	for tick := int64(0); tick < 100 && n.InFlight(); tick++ {
+		runAll(n, tick)
+	}
+	if n.CoreSentRequests(src) != 1 {
+		t.Errorf("sent requests = %d, want 1 (responses excluded)", n.CoreSentRequests(src))
+	}
+	if n.CoreRecvRequests(dst) != 1 {
+		t.Errorf("recv requests = %d, want 1", n.CoreRecvRequests(dst))
+	}
+}
+
+func TestWormholeInterleavingPreservesPacketOrder(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	n, _, sink, _ := buildNet(t, topo)
+	// Two long responses from opposite sources to the same destination
+	// column exercise switch arbitration; both must arrive intact.
+	a := flit.New(1, topo.CoreAt(topo.RouterAt(0, 1), 0), topo.CoreAt(topo.RouterAt(3, 1), 0), flit.Response, 0)
+	b := flit.New(2, topo.CoreAt(topo.RouterAt(0, 2), 0), topo.CoreAt(topo.RouterAt(3, 1), 0), flit.Response, 0)
+	n.Inject(a)
+	n.Inject(b)
+	for tick := int64(0); tick < 300 && len(sink.delivered) < 2; tick++ {
+		runAll(n, tick)
+	}
+	if len(sink.delivered) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(sink.delivered))
+	}
+}
+
+func TestInjectBadCorePanics(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	n, _, _, _ := buildNet(t, topo)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad source core did not panic")
+		}
+	}()
+	n.Inject(flit.New(1, 99, 0, flit.Request, 0))
+}
+
+func TestManyToOneHotspotDrains(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	n, _, sink, _ := buildNet(t, topo)
+	dst := topo.CoreAt(topo.RouterAt(0, 0), 0)
+	want := 0
+	for c := 0; c < topo.NumCores(); c++ {
+		if c == dst {
+			continue
+		}
+		n.Inject(flit.New(uint64(c), c, dst, flit.Response, 0))
+		want++
+	}
+	for tick := int64(0); tick < 5000 && n.InFlight(); tick++ {
+		runAll(n, tick)
+	}
+	if len(sink.delivered) != want {
+		t.Fatalf("hotspot drain delivered %d/%d", len(sink.delivered), want)
+	}
+}

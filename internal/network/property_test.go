@@ -1,0 +1,129 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flit"
+	"repro/internal/topology"
+)
+
+// TestConservationProperty: for random packet sets on random grid sizes,
+// every injected packet is delivered exactly once, all securing claims
+// return to zero, and all buffers drain.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 2 + rng.Intn(4)
+		h := 2 + rng.Intn(4)
+		topo := topology.NewMesh(w, h)
+		pv := newTestPV()
+		sink := &testSink{}
+		n := New(topo, 2, 4, 1+rng.Intn(3), pv, sink, nil)
+
+		want := 0
+		for i := 0; i < 30; i++ {
+			src := rng.Intn(topo.NumCores())
+			dst := rng.Intn(topo.NumCores())
+			if src == dst {
+				continue
+			}
+			kind := flit.Request
+			if rng.Intn(2) == 0 {
+				kind = flit.Response
+			}
+			n.Inject(flit.New(uint64(i), src, dst, kind, 0))
+			want++
+		}
+		for tick := int64(0); tick < 5000 && n.InFlight(); tick++ {
+			runAll(n, tick)
+		}
+		if n.InFlight() || len(sink.delivered) != want {
+			return false
+		}
+		for r := 0; r < topo.NumRouters(); r++ {
+			if n.Secured(r) || !n.Routers[r].BuffersEmpty() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatingChurnConservation randomly gates and ungates routers mid-run;
+// packets must still all arrive once routers are allowed back on.
+func TestGatingChurnConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := topology.NewMesh(3, 3)
+		pv := newTestPV()
+		sink := &testSink{}
+		n := New(topo, 2, 4, 1, pv, sink, nil)
+
+		want := 0
+		for i := 0; i < 20; i++ {
+			src := rng.Intn(topo.NumCores())
+			dst := rng.Intn(topo.NumCores())
+			if src == dst {
+				continue
+			}
+			n.Inject(flit.New(uint64(i), src, dst, flit.Request, 0))
+			want++
+		}
+		for tick := int64(0); tick < 500; tick++ {
+			// Randomly toggle gating on non-source routers.
+			if tick%7 == 0 {
+				r := rng.Intn(topo.NumRouters())
+				pv.gated[r] = !pv.gated[r]
+			}
+			runAll(n, tick)
+		}
+		// Ungate everything and drain.
+		for r := range pv.gated {
+			pv.gated[r] = false
+		}
+		for tick := int64(500); tick < 5000 && n.InFlight(); tick++ {
+			runAll(n, tick)
+		}
+		return len(sink.delivered) == want && !n.InFlight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLatencyMonotoneWithLoad: at higher injected load, average latency
+// must not decrease (a sanity check on the queueing model).
+func TestLatencyMonotoneWithLoad(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	avgLatency := func(packets int) float64 {
+		rng := rand.New(rand.NewSource(42))
+		pv := newTestPV()
+		sink := &testSink{}
+		n := New(topo, 2, 4, 1, pv, sink, nil)
+		id := uint64(0)
+		for i := 0; i < packets; i++ {
+			src := rng.Intn(topo.NumCores())
+			dst := (src + 1 + rng.Intn(topo.NumCores()-1)) % topo.NumCores()
+			n.Inject(flit.New(id, src, dst, flit.Response, 0))
+			id++
+		}
+		for tick := int64(0); tick < 20000 && n.InFlight(); tick++ {
+			runAll(n, tick)
+		}
+		sum := int64(0)
+		for _, p := range sink.delivered {
+			sum += p.Latency()
+		}
+		return float64(sum) / float64(len(sink.delivered))
+	}
+	light := avgLatency(5)
+	heavy := avgLatency(200)
+	if heavy < light {
+		t.Fatalf("latency decreased with load: %g -> %g", light, heavy)
+	}
+}

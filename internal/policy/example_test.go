@@ -1,0 +1,37 @@
+package policy_test
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+)
+
+// The Fig 3(b) threshold map drives all three ML models' mode selection.
+func ExampleModeForIBU() {
+	for _, ibu := range []float64{0.01, 0.07, 0.15, 0.22, 0.40} {
+		fmt.Printf("IBU %.0f%% -> %v\n", ibu*100, policy.ModeForIBU(ibu))
+	}
+	// Output:
+	// IBU 1% -> M3
+	// IBU 7% -> M4
+	// IBU 15% -> M5
+	// IBU 22% -> M6
+	// IBU 40% -> M7
+}
+
+// The five compared models are a power-gating flag plus a mode selector.
+func ExampleBaseline() {
+	for _, s := range []policy.Spec{
+		policy.Baseline(),
+		policy.PowerGated(),
+		policy.DVFSML(policy.ReactiveSelector{}),
+		policy.DozzNoC(policy.ReactiveSelector{}),
+	} {
+		fmt.Printf("%-8s gating=%v selector=%s\n", s.Name, s.PowerGating, s.Selector.Name())
+	}
+	// Output:
+	// Baseline gating=false selector=fixed-M7
+	// PG       gating=true selector=fixed-M7
+	// DVFS+ML  gating=false selector=reactive
+	// DozzNoC  gating=true selector=reactive
+}

@@ -1,0 +1,82 @@
+package power
+
+// Meter accumulates static and dynamic energy for one router (and its
+// outgoing links) across a simulation, plus the per-mode residency
+// histogram used by Fig 7 and the power-gating event log used to audit
+// T-Breakeven compliance.
+type Meter struct {
+	staticJ  float64
+	dynamicJ float64
+
+	// residencyTicks[s] counts base ticks spent with the meter's state s:
+	// index 0 = inactive, 1 = wakeup, 2..6 = modes M3..M7.
+	residencyTicks [2 + NumActiveModes]int64
+
+	hops int64
+}
+
+// stateIndex maps a mode (Inactive/Wakeup/M3..M7) to a residency slot.
+func stateIndex(m Mode) int {
+	switch m {
+	case Inactive:
+		return 0
+	case Wakeup:
+		return 1
+	}
+	return 2 + m.Index()
+}
+
+// TickStatic bills dt seconds of leakage for a router in state m (waking
+// into wakeTarget when m == Wakeup) and records residency.
+func (mt *Meter) TickStatic(m Mode, wakeTarget Mode, dtSeconds float64) {
+	var w float64
+	switch m {
+	case Inactive:
+		w = 0
+	case Wakeup:
+		w = StaticWattsWaking(wakeTarget)
+	default:
+		w = StaticWatts(m)
+	}
+	mt.staticJ += w * dtSeconds
+	mt.residencyTicks[stateIndex(m)]++
+}
+
+// AddHop bills one flit hop at mode m.
+func (mt *Meter) AddHop(m Mode) {
+	mt.dynamicJ += DynamicPJPerHop(m) * 1e-12
+	mt.hops++
+}
+
+// StaticJoules returns accumulated leakage energy.
+func (mt *Meter) StaticJoules() float64 { return mt.staticJ }
+
+// DynamicJoules returns accumulated switching energy.
+func (mt *Meter) DynamicJoules() float64 { return mt.dynamicJ }
+
+// TotalJoules returns static + dynamic energy.
+func (mt *Meter) TotalJoules() float64 { return mt.staticJ + mt.dynamicJ }
+
+// Hops returns the number of flit hops billed.
+func (mt *Meter) Hops() int64 { return mt.hops }
+
+// ResidencyTicks returns base ticks spent in state m (Wakeup residency is
+// keyed by Wakeup regardless of target).
+func (mt *Meter) ResidencyTicks(m Mode) int64 { return mt.residencyTicks[stateIndex(m)] }
+
+// OffTicks returns base ticks spent power-gated.
+func (mt *Meter) OffTicks() int64 { return mt.residencyTicks[0] }
+
+// Add merges another meter into mt (used to aggregate per-router meters
+// into a network total).
+func (mt *Meter) Add(o *Meter) {
+	mt.staticJ += o.staticJ
+	mt.dynamicJ += o.dynamicJ
+	mt.hops += o.hops
+	for i := range mt.residencyTicks {
+		mt.residencyTicks[i] += o.residencyTicks[i]
+	}
+}
+
+// Reset zeroes the meter.
+func (mt *Meter) Reset() { *mt = Meter{} }

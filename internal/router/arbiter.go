@@ -1,0 +1,36 @@
+package router
+
+import "fmt"
+
+// RoundRobin is a work-conserving round-robin arbiter over n requesters:
+// each Grant scans from just past the previous winner, so persistent
+// requesters share the resource fairly and a single requester wins every
+// time (work conservation).
+type RoundRobin struct {
+	n    int
+	last int
+}
+
+// NewRoundRobin builds an arbiter over n requesters.
+func NewRoundRobin(n int) *RoundRobin {
+	if n < 1 {
+		panic(fmt.Sprintf("router: arbiter over %d requesters", n))
+	}
+	return &RoundRobin{n: n}
+}
+
+// Grant returns the winning requester index, or -1 if req reports false
+// for all of them. req is called at most n times.
+func (a *RoundRobin) Grant(req func(i int) bool) int {
+	for i := 1; i <= a.n; i++ {
+		idx := (a.last + i) % a.n
+		if req(idx) {
+			a.last = idx
+			return idx
+		}
+	}
+	return -1
+}
+
+// Size returns the number of requesters.
+func (a *RoundRobin) Size() int { return a.n }

@@ -1,0 +1,372 @@
+// Package router implements the cycle-level router microarchitecture: an
+// input-buffered wormhole router with virtual channels (VCs), credit-based
+// flow control, round-robin switch allocation, and look-ahead routing.
+//
+// Look-ahead routing (§III-A) means every flit arrives already carrying the
+// output port it must take at this router (computed by the upstream router
+// or the injection logic). The router therefore knows the downstream router
+// of every buffered packet the moment its head flit arrives, which is what
+// lets the power-gating scheme secure and wake downstream routers before
+// packets block on them.
+//
+// Protocol deadlock between requests and responses is avoided by splitting
+// the VCs into two message classes: requests travel in the lower half of
+// the VC space, responses in the upper half.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+)
+
+// Config sizes a router.
+type Config struct {
+	Ports      int // total ports: LocalPorts + 4 cardinals
+	LocalPorts int // number of core (ejection/injection) ports
+	VCs        int // virtual channels per input port (>= 2, even)
+	Depth      int // flits of buffering per VC
+	// Pipeline is the router pipeline depth in cycles: a flit accepted on
+	// local cycle c may traverse the switch no earlier than cycle
+	// c + Pipeline - 1 (look-ahead routing folds RC into the previous
+	// hop; the remaining stages are VA/SA and ST). 1 = single-cycle.
+	Pipeline int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.LocalPorts < 1:
+		return fmt.Errorf("router: need at least one local port, got %d", c.LocalPorts)
+	case c.Ports != c.LocalPorts+4:
+		return fmt.Errorf("router: ports must be local+4, got %d with %d local", c.Ports, c.LocalPorts)
+	case c.VCs < 2 || c.VCs%2 != 0:
+		return fmt.Errorf("router: VCs must be even and >= 2, got %d", c.VCs)
+	case c.Depth < 1:
+		return fmt.Errorf("router: VC depth must be >= 1, got %d", c.Depth)
+	case c.Pipeline < 1:
+		return fmt.Errorf("router: pipeline depth must be >= 1, got %d", c.Pipeline)
+	}
+	return nil
+}
+
+// VCClassRange returns the half-open VC range [lo, hi) usable by a message
+// kind: requests use the lower half, responses the upper half.
+func (c Config) VCClassRange(k flit.Kind) (lo, hi int) {
+	half := c.VCs / 2
+	if k == flit.Request {
+		return 0, half
+	}
+	return half, c.VCs
+}
+
+// Env is the router's connection to the fabric, implemented by the network.
+// All calls happen synchronously during Router.Cycle.
+type Env interface {
+	// ForwardFlit carries f out of r's cardinal output port into the
+	// downstream router's input VC outVC. The implementation must call
+	// AcceptFlit on the downstream router.
+	ForwardFlit(r *Router, outPort, outVC int, f *flit.Flit)
+	// EjectFlit consumes f at r's local port.
+	EjectFlit(r *Router, localPort int, f *flit.Flit)
+	// CreditFreed reports that input (inPort, vc) of r freed one buffer
+	// slot; the fabric returns the credit to the upstream router.
+	CreditFreed(r *Router, inPort, vc int)
+	// CanForward reports whether r's cardinal output port may transmit
+	// this cycle (the downstream router is powered and active).
+	CanForward(r *Router, outPort int) bool
+	// HeadAccepted fires when a head flit enters r's input buffers; f
+	// carries OutPort/NextRouter for r, so the fabric can secure and
+	// punch-wake the downstream router.
+	HeadAccepted(r *Router, f *flit.Flit)
+	// TailForwarded fires when a tail flit leaves r through a cardinal
+	// port, releasing r's claim on the downstream router.
+	TailForwarded(r *Router, outPort int, f *flit.Flit)
+	// FlitMoved fires for every flit r moves (forward or eject); the
+	// caller bills dynamic hop energy at r's current mode.
+	FlitMoved(r *Router, f *flit.Flit)
+}
+
+// vcState is one input virtual channel: a FIFO of flits plus the routing
+// state of the packet currently at its front.
+type vcState struct {
+	q []*flit.Flit
+
+	routed  bool // front packet's route latched
+	outPort int  // latched output port of the front packet
+	outVC   int  // allocated downstream VC, -1 until VC allocation
+}
+
+func (v *vcState) empty() bool { return len(v.q) == 0 }
+func (v *vcState) front() *flit.Flit {
+	if len(v.q) == 0 {
+		return nil
+	}
+	return v.q[0]
+}
+
+func (v *vcState) pop() *flit.Flit {
+	f := v.q[0]
+	v.q[0] = nil
+	v.q = v.q[1:]
+	if len(v.q) == 0 {
+		v.q = nil // let the backing array go once drained
+	}
+	return f
+}
+
+// Router is one router instance. It owns no clocking or power state; the
+// simulation engine drives Cycle on the router's local clock and gates it
+// with the power-management state machine.
+type Router struct {
+	ID  int
+	cfg Config
+
+	in [][]vcState // [port][vc]
+
+	// credits[p][v] counts free slots in the downstream input VC v behind
+	// cardinal output port p. Local (ejection) ports need no credits: the
+	// core consumes one flit per cycle unconditionally.
+	credits [][]int
+	// outVCBusy[p][v] marks a downstream VC claimed by an in-flight
+	// packet; it is released when that packet's tail is forwarded.
+	outVCBusy [][]bool
+
+	// Arbiters.
+	outArb []*RoundRobin // per output port: switch allocation over input VCs
+	vcaRR  []int         // per output port: VC-allocation rotation
+
+	// pendingToPort[p] counts packets buffered here whose latched or
+	// precomputed route leaves through cardinal port p; used for
+	// downstream securing.
+	pendingToPort []int
+
+	// Statistics.
+	flitsForwarded int64
+	flitsEjected   int64
+	occupied       int // current occupied slots across all input VCs
+
+	localCycle int64  // local cycle counter (pipeline timing base)
+	inPortUsed []bool // per-cycle scratch: crossbar input already used
+}
+
+// New builds a router. It panics on invalid configuration (router sizing is
+// a programming error, not a runtime condition).
+func New(id int, cfg Config) *Router {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := &Router{ID: id, cfg: cfg}
+	r.in = make([][]vcState, cfg.Ports)
+	r.credits = make([][]int, cfg.Ports)
+	r.outVCBusy = make([][]bool, cfg.Ports)
+	for p := 0; p < cfg.Ports; p++ {
+		r.in[p] = make([]vcState, cfg.VCs)
+		for v := range r.in[p] {
+			r.in[p][v].outVC = -1
+		}
+		r.credits[p] = make([]int, cfg.VCs)
+		for v := range r.credits[p] {
+			r.credits[p][v] = cfg.Depth
+		}
+		r.outVCBusy[p] = make([]bool, cfg.VCs)
+	}
+	r.outArb = make([]*RoundRobin, cfg.Ports)
+	for p := range r.outArb {
+		r.outArb[p] = NewRoundRobin(cfg.Ports * cfg.VCs)
+	}
+	r.vcaRR = make([]int, cfg.Ports)
+	r.pendingToPort = make([]int, cfg.Ports)
+	r.inPortUsed = make([]bool, cfg.Ports)
+	return r
+}
+
+// Config returns the router's configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// IsLocalPort reports whether p is a core port.
+func (r *Router) IsLocalPort(p int) bool { return p < r.cfg.LocalPorts }
+
+// HasSpace reports whether input (port, vc) can accept another flit. The
+// fabric checks it before calling AcceptFlit for injection; forwarding
+// relies on credits instead.
+func (r *Router) HasSpace(inPort, vc int) bool {
+	return len(r.in[inPort][vc].q) < r.cfg.Depth
+}
+
+// AcceptFlit places a flit into input (inPort, vc). The flit must carry its
+// OutPort/NextRouter for this router. It panics on buffer overflow, which
+// would indicate a credit-accounting bug.
+func (r *Router) AcceptFlit(env Env, inPort, vc int, f *flit.Flit) {
+	s := &r.in[inPort][vc]
+	if len(s.q) >= r.cfg.Depth {
+		panic(fmt.Sprintf("router %d: input (%d,%d) overflow", r.ID, inPort, vc))
+	}
+	s.q = append(s.q, f)
+	r.occupied++
+	// A flit accepted between local cycles c and c+1 traverses the switch
+	// no earlier than cycle c+Pipeline (1 = the next cycle).
+	f.ReadyCycle = r.localCycle + int64(r.cfg.Pipeline)
+	if f.Head {
+		r.pendingToPort[f.OutPort]++
+		env.HeadAccepted(r, f)
+	}
+}
+
+// Occupancy returns occupied and total input-buffer slots; the ratio is the
+// instantaneous input buffer utilization (IBU) sampled by the DVFS logic.
+func (r *Router) Occupancy() (occupied, total int) {
+	return r.occupied, r.cfg.Ports * r.cfg.VCs * r.cfg.Depth
+}
+
+// BuffersEmpty reports whether every input VC is empty (one of the paper's
+// conditions for router idleness).
+func (r *Router) BuffersEmpty() bool { return r.occupied == 0 }
+
+// PendingToPort returns how many buffered packets are routed out of
+// cardinal port p (downstream-securing input).
+func (r *Router) PendingToPort(p int) int { return r.pendingToPort[p] }
+
+// FlitsForwarded and FlitsEjected expose movement counters.
+func (r *Router) FlitsForwarded() int64 { return r.flitsForwarded }
+func (r *Router) FlitsEjected() int64   { return r.flitsEjected }
+
+// Credit returns one credit for downstream VC (outPort, vc); the fabric
+// calls it when the downstream router frees a slot we filled.
+func (r *Router) Credit(outPort, vc int) {
+	if r.credits[outPort][vc] >= r.cfg.Depth {
+		panic(fmt.Sprintf("router %d: credit overflow on (%d,%d)", r.ID, outPort, vc))
+	}
+	r.credits[outPort][vc]++
+}
+
+// Cycle performs one local router cycle: switch allocation and traversal.
+// At most one flit leaves per output port, and at most one flit leaves per
+// input port (single crossbar input per port).
+func (r *Router) Cycle(env Env) {
+	r.localCycle++
+	if r.occupied == 0 {
+		return
+	}
+	for i := range r.inPortUsed {
+		r.inPortUsed[i] = false
+	}
+	for p := 0; p < r.cfg.Ports; p++ {
+		r.serveOutput(env, p, r.inPortUsed)
+	}
+}
+
+// serveOutput runs switch allocation for one output port: round-robin over
+// all input VCs whose front flit wants this output and is ready to move.
+func (r *Router) serveOutput(env Env, outPort int, inPortUsed []bool) {
+	if r.pendingToPort[outPort] == 0 {
+		return
+	}
+	if !r.IsLocalPort(outPort) && !env.CanForward(r, outPort) {
+		return
+	}
+	r.outArb[outPort].Grant(func(idx int) bool {
+		inPort, vc := idx/r.cfg.VCs, idx%r.cfg.VCs
+		if inPortUsed[inPort] {
+			return false
+		}
+		s := &r.in[inPort][vc]
+		f := s.front()
+		if f == nil || f.ReadyCycle > r.localCycle {
+			return false
+		}
+		// Latch the front packet's route when its head reaches the front.
+		if f.Head && !s.routed {
+			s.routed = true
+			s.outPort = f.OutPort
+			s.outVC = -1
+		}
+		if !s.routed || s.outPort != outPort {
+			return false
+		}
+		if r.IsLocalPort(outPort) {
+			r.eject(env, inPort, vc, s, f)
+		} else if !r.forward(env, inPort, vc, outPort, s, f) {
+			return false
+		}
+		inPortUsed[inPort] = true
+		return true
+	})
+}
+
+// forward tries to move the front flit of s through cardinal port outPort;
+// it returns false if VC allocation or credits block the move.
+func (r *Router) forward(env Env, inPort, vc, outPort int, s *vcState, f *flit.Flit) bool {
+	if s.outVC < 0 && !r.allocVC(outPort, s, f) {
+		return false
+	}
+	if r.credits[outPort][s.outVC] == 0 {
+		return false
+	}
+	r.credits[outPort][s.outVC]--
+	outVC := s.outVC
+	r.popFront(env, inPort, vc, s, f)
+	if f.Tail {
+		r.outVCBusy[outPort][outVC] = false
+		env.TailForwarded(r, outPort, f)
+	}
+	r.flitsForwarded++
+	env.FlitMoved(r, f)
+	env.ForwardFlit(r, outPort, outVC, f)
+	return true
+}
+
+// eject consumes the front flit of s at a local port (the attached core
+// accepts one flit per cycle unconditionally).
+func (r *Router) eject(env Env, inPort, vc int, s *vcState, f *flit.Flit) {
+	localPort := s.outPort
+	r.popFront(env, inPort, vc, s, f)
+	r.flitsEjected++
+	env.FlitMoved(r, f)
+	env.EjectFlit(r, localPort, f)
+}
+
+// popFront removes the front flit, returns its buffer credit upstream, and
+// resets per-packet routing state on tails.
+func (r *Router) popFront(env Env, inPort, vc int, s *vcState, f *flit.Flit) {
+	s.pop()
+	r.occupied--
+	if f.Tail {
+		r.pendingToPort[s.outPort]--
+		s.routed = false
+		s.outVC = -1
+	}
+	env.CreditFreed(r, inPort, vc)
+}
+
+// allocVC claims a free downstream VC for the packet at the front of s,
+// within the message-class VC range, rotating the starting VC per output
+// port for fairness.
+func (r *Router) allocVC(outPort int, s *vcState, f *flit.Flit) bool {
+	lo, hi := r.cfg.VCClassRange(f.Pkt.Kind)
+	span := hi - lo
+	start := r.vcaRR[outPort]
+	for i := 0; i < span; i++ {
+		v := lo + (start+i)%span
+		if !r.outVCBusy[outPort][v] {
+			r.outVCBusy[outPort][v] = true
+			s.outVC = v
+			r.vcaRR[outPort] = (start + i + 1) % span
+			return true
+		}
+	}
+	return false
+}
+
+// DrainState summarizes buffered traffic for debugging and invariants.
+type DrainState struct {
+	Occupied       int
+	PendingPerPort []int
+}
+
+// Snapshot returns the router's drain state.
+func (r *Router) Snapshot() DrainState {
+	pp := make([]int, len(r.pendingToPort))
+	copy(pp, r.pendingToPort)
+	return DrainState{Occupied: r.occupied, PendingPerPort: pp}
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Integration tests: whole-system invariants across models, topologies
+// and traffic patterns.
+
+func allSpecs(routers int) []policy.Spec {
+	return []policy.Spec{
+		policy.Baseline(),
+		policy.PowerGated(),
+		policy.DVFSML(policy.ReactiveSelector{}),
+		policy.DozzNoC(policy.ReactiveSelector{}),
+		policy.MLTurbo(policy.ReactiveSelector{}, routers),
+	}
+}
+
+// TestNoDeadlockAcrossPatterns drives every model with every synthetic
+// pattern at a stressing rate and requires full drain: XY DOR + VC
+// message classes + securing must keep the network deadlock-free even
+// with power-gating churn.
+func TestNoDeadlockAcrossPatterns(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	patterns := []traffic.Pattern{
+		traffic.UniformRandom, traffic.Transpose, traffic.BitComplement,
+		traffic.Hotspot, traffic.Neighbor,
+	}
+	for _, pat := range patterns {
+		tr := traffic.Synthetic(topo, pat, 0.05, 3000, 9)
+		for _, spec := range allSpecs(topo.NumRouters()) {
+			res, err := Run(Config{Topo: topo, Spec: spec, Trace: tr})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", spec.Name, pat, err)
+			}
+			if !res.Drained {
+				t.Fatalf("%s/%v: network did not drain (possible deadlock)", spec.Name, pat)
+			}
+			if res.PacketsDelivered != res.PacketsInjected {
+				t.Fatalf("%s/%v: lost %d packets", spec.Name, pat,
+					res.PacketsInjected-res.PacketsDelivered)
+			}
+		}
+	}
+}
+
+// TestSaturationRecovers pushes a heavily compressed trace through the
+// slowest-adapting model and verifies the network still drains.
+func TestSaturationRecovers(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	p, _ := traffic.ProfileByName("canneal")
+	g := traffic.Generator{Topo: topo, Horizon: 12000, Seed: 5}
+	tr := g.Generate(p).Compress(6)
+	res, err := Run(Config{Topo: topo, Spec: policy.DozzNoC(policy.ReactiveSelector{}), Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Drained {
+		t.Fatal("saturated network never drained")
+	}
+	if res.PacketsDelivered != res.PacketsInjected {
+		t.Fatal("saturated run lost packets")
+	}
+}
+
+// TestDeterminism: identical configurations produce bit-identical
+// results (no map iteration, wall clock or uncontrolled randomness in
+// the engine).
+func TestDeterminism(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	p, _ := traffic.ProfileByName("fft")
+	g := traffic.Generator{Topo: topo, Horizon: 8000, Seed: 21}
+	tr := g.Generate(p)
+	run := func() *Result {
+		res, err := Run(Config{Topo: topo, Spec: policy.DozzNoC(policy.ReactiveSelector{}), Trace: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Ticks != b.Ticks || a.StaticJ != b.StaticJ || a.DynamicJ != b.DynamicJ ||
+		a.AvgLatencyTicks != b.AvgLatencyTicks || a.Policy != b.Policy {
+		t.Fatalf("non-deterministic results:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestCMeshAllModels runs the concentrated mesh through every model.
+func TestCMeshAllModels(t *testing.T) {
+	topo := topology.NewCMesh(4, 4)
+	p, _ := traffic.ProfileByName("vips")
+	g := traffic.Generator{Topo: topo, Horizon: 8000, Seed: 13}
+	tr := g.Generate(p)
+	for _, spec := range allSpecs(topo.NumRouters()) {
+		res, err := Run(Config{Topo: topo, Spec: spec, Trace: tr})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if !res.Drained || res.PacketsDelivered != res.PacketsInjected {
+			t.Fatalf("%s: cmesh run broken", spec.Name)
+		}
+	}
+}
+
+// TestRectangularMesh exercises a non-square grid.
+func TestRectangularMesh(t *testing.T) {
+	topo := topology.NewMesh(6, 3)
+	tr := traffic.Synthetic(topo, traffic.UniformRandom, 0.03, 4000, 2)
+	res, err := Run(Config{Topo: topo, Spec: policy.DozzNoC(policy.ReactiveSelector{}), Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Drained || res.PacketsDelivered != res.PacketsInjected {
+		t.Fatal("rectangular mesh run broken")
+	}
+}
+
+// TestEnergyOrderingInvariant: for any benchmark, the models' energy
+// totals must respect the design's ordering — DozzNoC total <= PG total
+// and <= LEAD total (it subsumes both techniques), and every model <=
+// baseline total.
+func TestEnergyOrderingInvariant(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	for _, bench := range []string{"fft", "lu", "vips"} {
+		p, _ := traffic.ProfileByName(bench)
+		g := traffic.Generator{Topo: topo, Horizon: 10000, Seed: 17}
+		tr := g.Generate(p)
+		results := map[string]*Result{}
+		for _, spec := range allSpecs(topo.NumRouters()) {
+			res, err := Run(Config{Topo: topo, Spec: spec, Trace: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[spec.Name] = res
+		}
+		base := results["Baseline"].TotalJ()
+		for name, res := range results {
+			if name == "Baseline" {
+				continue
+			}
+			if res.TotalJ() > base {
+				t.Errorf("%s/%s: total energy %g exceeds baseline %g", bench, name, res.TotalJ(), base)
+			}
+		}
+		dn := results["DozzNoC"].TotalJ()
+		if dn > results["PG"].TotalJ() {
+			t.Errorf("%s: DozzNoC total %g > PG %g", bench, dn, results["PG"].TotalJ())
+		}
+		if dn > results["DVFS+ML"].TotalJ() {
+			t.Errorf("%s: DozzNoC total %g > LEAD %g", bench, dn, results["DVFS+ML"].TotalJ())
+		}
+	}
+}
+
+// TestWakeSignalLossTolerated: even with injection-time punches disabled
+// entirely (the "dropped wake signal" failure mode), head-flit securing
+// still wakes routers one hop ahead, so nothing is ever lost.
+func TestWakeSignalLossTolerated(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	p, _ := traffic.ProfileByName("blackscholes")
+	g := traffic.Generator{Topo: topo, Horizon: 10000, Seed: 31}
+	tr := g.Generate(p)
+	res, err := Run(Config{
+		Topo: topo, Spec: policy.DozzNoC(policy.ReactiveSelector{}),
+		Trace: tr, NoPathPunch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Drained || res.PacketsDelivered != res.PacketsInjected {
+		t.Fatal("network lost packets without path punches")
+	}
+}

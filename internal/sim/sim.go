@@ -1,0 +1,451 @@
+// Package sim is the cycle-level simulation engine: it drives the network,
+// the power-management controller and the energy meters over a packet
+// trace, handles the DVFS epoch loop, and optionally harvests the ML
+// training dataset (features per epoch, labeled with the next epoch's
+// IBU).
+//
+// Time advances in base ticks of the fastest clock (timing.BaseFreqMHz);
+// each router's clock domain fires local cycles at its current mode's
+// rational fraction of base ticks. Runs end when the trace is exhausted
+// and the network has drained, or at the MaxTicks safety cap.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/features"
+	"repro/internal/flit"
+	"repro/internal/ml"
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/timing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Default engine parameters.
+const (
+	DefaultVCs        = 2
+	DefaultDepth      = 4
+	DefaultPipeline   = 3
+	DefaultEpochTicks = 500
+	DefaultPunchHops  = -1
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Topo  topology.Topology
+	Spec  policy.Spec
+	Trace *traffic.Trace
+
+	VCs        int   // virtual channels per port (default 2)
+	Depth      int   // flits per VC (default 4)
+	Pipeline   int   // router pipeline depth in cycles (default 3)
+	LinkTicks  int64 // inter-router wire latency in base ticks (default 0)
+	EpochTicks int64 // DVFS epoch length in base ticks (default 500)
+	MaxTicks   int64 // safety cap (default: 4x trace span + 200k)
+
+	// CollectDataset harvests (features, future-IBU) rows per router per
+	// epoch for offline training.
+	CollectDataset bool
+	// PunchHops is how many routers of a packet's XY path (starting at
+	// the source router) receive a wake punch at injection time; routers
+	// further along are woken one hop ahead as the head flit advances,
+	// making the scheme partially (not fully) non-blocking. Default 2;
+	// negative punches the entire path.
+	PunchHops int
+	// NoPathPunch disables injection-time punching entirely (heads still
+	// wake their next hop on acceptance).
+	NoPathPunch bool
+	// Extractor overrides the per-epoch feature extractor (default: the
+	// reduced Table IV set). Use features.NewExtendedExtractor for the
+	// 41-feature DozzNoC-41 variant.
+	Extractor FeatureExtractor
+	// Workload, when set, drives injection interactively instead of a
+	// trace (closed-loop full-system mode: the workload reacts to
+	// deliveries, so network slowdowns feed back into injection). Trace
+	// must be nil when Workload is set.
+	Workload Workload
+	// CollectSeries records a per-epoch network snapshot (Result.Series)
+	// for time-resolved plots.
+	CollectSeries bool
+}
+
+// Workload is a closed-loop traffic source (e.g. the mcsim multicore
+// model): the engine calls Tick every base tick so it can inject packets,
+// forwards every delivery to it, and stops once it reports Done and the
+// network has drained.
+type Workload interface {
+	// Tick may inject any number of packets at the current tick.
+	Tick(now int64, inject func(p *flit.Packet))
+	// PacketDelivered observes a delivery (response matching, stall
+	// release).
+	PacketDelivered(p *flit.Packet, core int, now int64)
+	// Done reports whether the workload has no more work to issue.
+	Done() bool
+}
+
+// FeatureExtractor computes a router's per-epoch feature vector; both the
+// reduced (Table IV) and extended (41-feature) extractors implement it.
+type FeatureExtractor interface {
+	Collect(routerID int, net *network.Network, ctrl *policy.Controller, ibu float64, now timing.Tick) []float64
+}
+
+// featureNamer is optionally implemented by extractors to label dataset
+// columns.
+type featureNamer interface{ FeatureNames() []string }
+
+// DefaultWorkloadMaxTicks caps closed-loop runs with no explicit limit.
+const DefaultWorkloadMaxTicks = 5_000_000
+
+func (c *Config) applyDefaults() error {
+	if c.Topo == nil {
+		return errors.New("sim: nil topology")
+	}
+	if c.Trace == nil && c.Workload == nil {
+		return errors.New("sim: need a trace or a workload")
+	}
+	if c.Trace != nil && c.Workload != nil {
+		return errors.New("sim: trace and workload are mutually exclusive")
+	}
+	if c.Trace != nil && c.Trace.Cores != c.Topo.NumCores() {
+		return fmt.Errorf("sim: trace has %d cores, topology has %d", c.Trace.Cores, c.Topo.NumCores())
+	}
+	if c.VCs == 0 {
+		c.VCs = DefaultVCs
+	}
+	if c.Depth == 0 {
+		c.Depth = DefaultDepth
+	}
+	if c.Pipeline == 0 {
+		c.Pipeline = DefaultPipeline
+	}
+	if c.PunchHops == 0 {
+		c.PunchHops = DefaultPunchHops
+	}
+	if c.EpochTicks == 0 {
+		c.EpochTicks = DefaultEpochTicks
+	}
+	if c.MaxTicks == 0 {
+		if c.Trace != nil {
+			span := c.Trace.Horizon
+			if n := len(c.Trace.Entries); n > 0 && c.Trace.Entries[n-1].Time > span {
+				span = c.Trace.Entries[n-1].Time
+			}
+			c.MaxTicks = 4*span + 200_000
+		} else {
+			c.MaxTicks = DefaultWorkloadMaxTicks
+		}
+	}
+	return nil
+}
+
+// Result summarizes one run.
+type Result struct {
+	Model string
+	Trace string
+
+	Ticks   int64
+	Drained bool // the network emptied before MaxTicks
+
+	PacketsInjected  int64
+	PacketsDelivered int64
+	FlitsDelivered   int64
+
+	AvgLatencyTicks float64
+	AvgLatencyNS    float64
+	// Latency is the full latency population summary (base ticks).
+	Latency stats.LatencySummary
+	// Throughput is delivered flits per base tick network-wide; models
+	// that stall traffic stretch the run and lose throughput.
+	Throughput float64
+
+	StaticJ  float64
+	DynamicJ float64
+
+	// OffFraction is the mean fraction of router time spent power-gated.
+	OffFraction float64
+	// WakeupFraction is the mean fraction spent in the wakeup state.
+	WakeupFraction float64
+	// ModeResidency[i] is the fraction of router time in active mode
+	// M3+i.
+	ModeResidency [power.NumActiveModes]float64
+
+	Policy policy.Stats
+
+	// Dataset holds the harvested training rows when CollectDataset.
+	Dataset *ml.Dataset
+	// Series holds the per-epoch time series when CollectSeries.
+	Series *stats.Series
+
+	// RouterOffFraction is each router's power-gated time fraction
+	// (spatial structure of the gating decisions).
+	RouterOffFraction []float64
+	// RouterAvgMode is each router's residency-weighted mean active mode
+	// index (0 = M3 .. 4 = M7), for spatial DVFS views.
+	RouterAvgMode []float64
+}
+
+// EDP returns the energy-delay product (total energy x run time in
+// seconds).
+func (r *Result) EDP() float64 {
+	return (r.StaticJ + r.DynamicJ) * timing.Tick(r.Ticks).Seconds()
+}
+
+// TotalJ returns total energy.
+func (r *Result) TotalJ() float64 { return r.StaticJ + r.DynamicJ }
+
+// engine ties network, controller and meters together for one run.
+type engine struct {
+	cfg   Config
+	ctrl  *policy.Controller
+	net   *network.Network
+	meter []power.Meter
+	ext   FeatureExtractor
+
+	ibuNum    []int64 // per router: summed occupied slots this epoch
+	slotsPerR int64
+	pending   [][]float64 // features awaiting next epoch's label
+	dataset   *ml.Dataset
+	series    *stats.Series
+
+	latencies  []int64
+	sumLatency int64
+	nLatency   int64
+
+	nextID uint64
+}
+
+// netView adapts the network for policy.NetView.
+type netView struct{ n *network.Network }
+
+func (v netView) BuffersEmpty(r int) bool { return v.n.Routers[r].BuffersEmpty() }
+func (v netView) Secured(r int) bool      { return v.n.Secured(r) }
+
+// PacketDelivered implements network.Sink.
+func (e *engine) PacketDelivered(p *flit.Packet, core int, now int64) {
+	e.sumLatency += p.Latency()
+	e.nLatency++
+	e.latencies = append(e.latencies, p.Latency())
+	if e.cfg.Workload != nil {
+		e.cfg.Workload.PacketDelivered(p, core, now)
+	}
+}
+
+// FlitHopped implements network.HopObserver: bill dynamic energy at the
+// moving router's current mode.
+func (e *engine) FlitHopped(routerID int) {
+	e.meter[routerID].AddHop(e.ctrl.Mode(routerID))
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	nR := cfg.Topo.NumRouters()
+	e := &engine{
+		cfg:     cfg,
+		ctrl:    policy.NewController(nR, cfg.Spec),
+		meter:   make([]power.Meter, nR),
+		ibuNum:  make([]int64, nR),
+		pending: make([][]float64, nR),
+	}
+	e.net = network.New(cfg.Topo, cfg.VCs, cfg.Depth, cfg.Pipeline, e.ctrl, e, e)
+	e.net.SetLinkTicks(cfg.LinkTicks)
+	e.ctrl.SetNetView(netView{e.net})
+	e.ext = cfg.Extractor
+	if e.ext == nil {
+		e.ext = features.NewExtractor(cfg.Topo)
+	}
+	if cfg.CollectDataset {
+		names := features.Names[:]
+		if n, ok := e.ext.(featureNamer); ok {
+			names = n.FeatureNames()
+		}
+		e.dataset = ml.NewDataset(names)
+	}
+	if cfg.CollectSeries {
+		e.series = &stats.Series{EpochTicks: cfg.EpochTicks}
+	}
+	_, slots := e.net.Routers[0].Occupancy()
+	e.slotsPerR = int64(slots)
+
+	var entries []traffic.Entry
+	if cfg.Trace != nil {
+		entries = cfg.Trace.Entries
+	}
+	cursor := 0
+	drained := false
+	var tick int64
+	injectNow := func(p *flit.Packet) {
+		p.ID = e.nextID
+		e.nextID++
+		p.InjectAt = tick
+		e.net.Inject(p)
+		if !cfg.NoPathPunch {
+			e.punchPath(p.SrcCore, p.DstCore)
+		}
+	}
+	for tick = 0; tick < cfg.MaxTicks; tick++ {
+		e.ctrl.SetNow(timing.Tick(tick))
+		e.net.SetTick(tick)
+		e.net.DeliverDue()
+		for cursor < len(entries) && entries[cursor].Time <= tick {
+			en := entries[cursor]
+			injectNow(flit.New(0, en.Src, en.Dst, en.Kind, tick))
+			cursor++
+		}
+		if cfg.Workload != nil {
+			cfg.Workload.Tick(tick, injectNow)
+		}
+		for r := 0; r < nR; r++ {
+			mode, wt := e.ctrl.BillingState(r)
+			e.meter[r].TickStatic(mode, wt, timing.TickSeconds)
+			occ, _ := e.net.Routers[r].Occupancy()
+			e.ibuNum[r] += int64(occ)
+			if e.ctrl.Advance(r) {
+				e.net.RouterCycle(r)
+				e.ctrl.PostCycle(r)
+			}
+		}
+		if (tick+1)%cfg.EpochTicks == 0 {
+			e.epochBoundary(timing.Tick(tick + 1))
+		}
+		sourceDone := cursor >= len(entries)
+		if cfg.Workload != nil {
+			sourceDone = cfg.Workload.Done()
+		}
+		if sourceDone && !e.net.InFlight() {
+			drained = true
+			tick++
+			break
+		}
+	}
+	return e.result(tick, drained), nil
+}
+
+// punchPath wakes the first PunchHops routers on the XY path from src to
+// dst so gated routers charge up while the packet is still upstream
+// (§III-B's look-ahead wake, Power Punch style). Routers beyond the punch
+// horizon are woken one hop ahead as the head flit advances, which makes
+// the scheme partially rather than fully non-blocking.
+func (e *engine) punchPath(srcCore, dstCore int) {
+	t := e.cfg.Topo
+	r := t.RouterOf(srcCore)
+	last := t.RouterOf(dstCore)
+	hops := e.cfg.PunchHops
+	for {
+		e.ctrl.WakeRequest(r)
+		if r == last {
+			return
+		}
+		if hops > 0 {
+			hops--
+			if hops == 0 {
+				return
+			}
+		}
+		r = topology.NextRouter(t, r, dstCore)
+	}
+}
+
+// epochBoundary closes an epoch on every router: computes epoch IBU,
+// labels the previous epoch's pending features, collects new features and
+// runs the mode selector.
+func (e *engine) epochBoundary(now timing.Tick) {
+	den := float64(e.slotsPerR) * float64(e.cfg.EpochTicks)
+	var sample stats.EpochSample
+	sumIBU := 0.0
+	for r := range e.ibuNum {
+		ibu := float64(e.ibuNum[r]) / den
+		sumIBU += ibu
+		e.ibuNum[r] = 0
+		if e.dataset != nil && e.pending[r] != nil {
+			e.dataset.Add(e.pending[r], ibu)
+		}
+		feats := e.ext.Collect(r, e.net, e.ctrl, ibu, now)
+		e.pending[r] = feats
+		e.ctrl.EpochBoundary(r, ibu, feats)
+	}
+	if e.series == nil {
+		return
+	}
+	sample.Tick = int64(now)
+	sample.AvgIBU = sumIBU / float64(len(e.ibuNum))
+	for r := range e.ibuNum {
+		switch e.ctrl.State(r) {
+		case policy.Inactive:
+			sample.OffRouters++
+		case policy.Wakeup:
+			sample.WakingRouters++
+		default:
+			sample.ModeRouters[e.ctrl.Mode(r).Index()]++
+		}
+	}
+	sample.FlitsDelivered = e.net.FlitsDelivered()
+	for i := range e.meter {
+		sample.StaticJ += e.meter[i].StaticJoules()
+		sample.DynamicJ += e.meter[i].DynamicJoules()
+	}
+	e.series.Add(sample)
+}
+
+func (e *engine) result(ticks int64, drained bool) *Result {
+	traceName := "workload"
+	if e.cfg.Trace != nil {
+		traceName = e.cfg.Trace.Name
+	}
+	res := &Result{
+		Model:            e.cfg.Spec.Name,
+		Trace:            traceName,
+		Ticks:            ticks,
+		Drained:          drained,
+		PacketsInjected:  e.net.PacketsInjected(),
+		PacketsDelivered: e.net.PacketsDelivered(),
+		FlitsDelivered:   e.net.FlitsDelivered(),
+		Policy:           e.ctrl.Stats(),
+		Dataset:          e.dataset,
+	}
+	if e.nLatency > 0 {
+		res.AvgLatencyTicks = float64(e.sumLatency) / float64(e.nLatency)
+		res.AvgLatencyNS = res.AvgLatencyTicks * timing.TickSeconds * 1e9
+	}
+	res.Latency = stats.Summarize(e.latencies)
+	res.Series = e.series
+	if ticks > 0 {
+		res.Throughput = float64(res.FlitsDelivered) / float64(ticks)
+	}
+	res.RouterOffFraction = make([]float64, len(e.meter))
+	res.RouterAvgMode = make([]float64, len(e.meter))
+	var total power.Meter
+	for i := range e.meter {
+		total.Add(&e.meter[i])
+		if ticks > 0 {
+			res.RouterOffFraction[i] = float64(e.meter[i].ResidencyTicks(power.Inactive)) / float64(ticks)
+		}
+		var activeTicks, weighted int64
+		for m := 0; m < power.NumActiveModes; m++ {
+			t := e.meter[i].ResidencyTicks(power.ActiveMode(m))
+			activeTicks += t
+			weighted += t * int64(m)
+		}
+		if activeTicks > 0 {
+			res.RouterAvgMode[i] = float64(weighted) / float64(activeTicks)
+		}
+	}
+	res.StaticJ = total.StaticJoules()
+	res.DynamicJ = total.DynamicJoules()
+	routerTicks := float64(ticks) * float64(len(e.meter))
+	if routerTicks > 0 {
+		res.OffFraction = float64(total.ResidencyTicks(power.Inactive)) / routerTicks
+		res.WakeupFraction = float64(total.ResidencyTicks(power.Wakeup)) / routerTicks
+		for i := 0; i < power.NumActiveModes; i++ {
+			res.ModeResidency[i] = float64(total.ResidencyTicks(power.ActiveMode(i))) / routerTicks
+		}
+	}
+	return res
+}

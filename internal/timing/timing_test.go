@@ -1,0 +1,166 @@
+package timing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseConstants(t *testing.T) {
+	if BaseFreqMHz != 2250 {
+		t.Fatalf("base frequency = %d, want 2250 MHz (mode 7)", BaseFreqMHz)
+	}
+	// One tick of a 2.25 GHz clock is 444.4 ps.
+	if got := Tick(1).Seconds(); got < 444.0e-12 || got > 445.0e-12 {
+		t.Fatalf("tick duration = %g s, want ~444.4 ps", got)
+	}
+}
+
+func TestTickConversions(t *testing.T) {
+	if got := Tick(2250).Seconds(); got < 0.999e-6 || got > 1.001e-6 {
+		t.Fatalf("2250 ticks = %g s, want 1 us", got)
+	}
+	if got := Tick(2250).Nanoseconds(); got < 999 || got > 1001 {
+		t.Fatalf("2250 ticks = %g ns, want 1000", got)
+	}
+}
+
+func TestTicksFromNS(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want Tick
+	}{
+		{0, 0},
+		{-1, 0},
+		{0.4, 1},   // partial tick rounds up
+		{0.445, 2}, // just over one tick
+		{8.8, 20},  // the worst-case T-Wakeup spans 20 base ticks
+	}
+	for _, c := range cases {
+		if got := TicksFromNS(c.ns); got != c.want {
+			t.Errorf("TicksFromNS(%g) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestTicksFromNSCovers(t *testing.T) {
+	// The returned tick count must always span at least the requested ns.
+	f := func(raw uint16) bool {
+		ns := float64(raw) / 100.0
+		ticks := TicksFromNS(ns)
+		return ticks.Seconds()*1e9 >= ns-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainFullSpeed(t *testing.T) {
+	d := NewDomain(BaseFreqMHz)
+	for i := 0; i < 100; i++ {
+		if !d.Tick() {
+			t.Fatalf("full-speed domain skipped a cycle at tick %d", i)
+		}
+	}
+}
+
+func TestDomainExactPacing(t *testing.T) {
+	// Over N base ticks a domain at f MHz fires floor(N*f/2250) cycles
+	// exactly (Bresenham accumulation is exact for rationals).
+	for _, f := range []int{1000, 1500, 1800, 2000, 2250} {
+		d := NewDomain(f)
+		const n = 90000
+		fired := int64(0)
+		for i := 0; i < n; i++ {
+			if d.Tick() {
+				fired++
+			}
+		}
+		want := CyclesIn(n, f)
+		if fired != want {
+			t.Errorf("freq %d: fired %d cycles in %d ticks, want %d", f, fired, n, want)
+		}
+	}
+}
+
+func TestDomainPacingProperty(t *testing.T) {
+	f := func(rawFreq uint16, rawN uint16) bool {
+		freq := 1 + int(rawFreq)%BaseFreqMHz
+		n := int(rawN)
+		d := NewDomain(freq)
+		fired := int64(0)
+		for i := 0; i < n; i++ {
+			if d.Tick() {
+				fired++
+			}
+		}
+		return fired == CyclesIn(Tick(n), freq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainNeverBursts(t *testing.T) {
+	// A half-speed domain must never fire twice in a row.
+	d := NewDomain(BaseFreqMHz / 2)
+	prev := false
+	for i := 0; i < 1000; i++ {
+		cur := d.Tick()
+		if cur && prev {
+			t.Fatalf("half-speed domain fired consecutively at tick %d", i)
+		}
+		prev = cur
+	}
+}
+
+func TestDomainSetFreqMidRun(t *testing.T) {
+	d := NewDomain(1000)
+	for i := 0; i < 10; i++ {
+		d.Tick()
+	}
+	d.SetFreq(2250)
+	for i := 0; i < 10; i++ {
+		if !d.Tick() {
+			t.Fatalf("after switching to full speed, tick %d did not fire", i)
+		}
+	}
+}
+
+func TestDomainBadFreqPanics(t *testing.T) {
+	for _, f := range []int{0, -5, BaseFreqMHz + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetFreq(%d) did not panic", f)
+				}
+			}()
+			NewDomain(f)
+		}()
+	}
+}
+
+func TestDomainReset(t *testing.T) {
+	d := NewDomain(1500)
+	d.Tick() // accumulate something
+	d.Reset()
+	// After reset, the first fire of a 1500 MHz domain happens on the
+	// second base tick (acc 1500 then 3000 >= 2250).
+	if d.Tick() {
+		t.Fatal("1500 MHz domain fired on the first tick after reset")
+	}
+	if !d.Tick() {
+		t.Fatal("1500 MHz domain did not fire on the second tick after reset")
+	}
+}
+
+func TestCyclesIn(t *testing.T) {
+	if got := CyclesIn(2250, 1000); got != 1000 {
+		t.Errorf("CyclesIn(2250, 1000) = %d, want 1000", got)
+	}
+	if got := CyclesIn(0, 1000); got != 0 {
+		t.Errorf("CyclesIn(0, 1000) = %d, want 0", got)
+	}
+	if got := CyclesIn(9, 2250); got != 9 {
+		t.Errorf("CyclesIn(9, 2250) = %d, want 9", got)
+	}
+}

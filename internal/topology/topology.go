@@ -1,0 +1,170 @@
+// Package topology models the mesh and concentrated-mesh (cmesh) networks
+// the paper evaluates, and XY dimension-order routing (DOR) with look-ahead.
+//
+// Router port numbering: a router with concentration C has ports
+// 0..C-1 (local/core ports) followed by North, East, South, West at
+// C, C+1, C+2, C+3. The paper's mesh has C=1 (64 routers, 64 cores); the
+// cmesh has C=4 (16 routers, 64 cores).
+package topology
+
+import "fmt"
+
+// CardinalPorts is the number of inter-router ports (N, E, S, W).
+const CardinalPorts = 4
+
+// Topology describes a 2-D grid network with concentrated terminals.
+type Topology interface {
+	// Name identifies the topology ("mesh8x8", "cmesh4x4", ...).
+	Name() string
+	// Width and Height are the router-grid dimensions.
+	Width() int
+	Height() int
+	// Concentration is the number of cores attached to each router.
+	Concentration() int
+	// NumRouters returns Width*Height.
+	NumRouters() int
+	// NumCores returns NumRouters*Concentration.
+	NumCores() int
+	// PortsPerRouter returns Concentration + 4.
+	PortsPerRouter() int
+	// RouterOf maps a core index to its router.
+	RouterOf(core int) int
+	// LocalPort maps a core index to its local port on RouterOf(core).
+	LocalPort(core int) int
+	// CoreAt maps (router, localPort) back to a core index, or -1.
+	CoreAt(router, localPort int) int
+	// Coord returns the (x, y) grid position of a router.
+	Coord(router int) (x, y int)
+	// RouterAt returns the router at grid position (x, y), or -1.
+	RouterAt(x, y int) int
+	// Neighbor returns the router reached over the given cardinal port,
+	// or -1 at a mesh edge or for a local port.
+	Neighbor(router, port int) int
+}
+
+// grid implements Topology for both mesh and cmesh.
+type grid struct {
+	name          string
+	width, height int
+	concentration int
+}
+
+// NewMesh returns a width x height mesh with one core per router, the
+// paper's primary 8x8 configuration being NewMesh(8, 8).
+func NewMesh(width, height int) Topology {
+	mustDims(width, height)
+	return &grid{name: fmt.Sprintf("mesh%dx%d", width, height), width: width, height: height, concentration: 1}
+}
+
+// NewCMesh returns a width x height concentrated mesh with four cores per
+// router, the paper's 4x4 cmesh (16 routers, 64 cores) being NewCMesh(4, 4).
+func NewCMesh(width, height int) Topology {
+	mustDims(width, height)
+	return &grid{name: fmt.Sprintf("cmesh%dx%d", width, height), width: width, height: height, concentration: 4}
+}
+
+func mustDims(w, h int) {
+	if w < 2 || h < 2 {
+		panic(fmt.Sprintf("topology: grid must be at least 2x2, got %dx%d", w, h))
+	}
+}
+
+func (g *grid) Name() string        { return g.name }
+func (g *grid) Width() int          { return g.width }
+func (g *grid) Height() int         { return g.height }
+func (g *grid) Concentration() int  { return g.concentration }
+func (g *grid) NumRouters() int     { return g.width * g.height }
+func (g *grid) NumCores() int       { return g.NumRouters() * g.concentration }
+func (g *grid) PortsPerRouter() int { return g.concentration + CardinalPorts }
+
+func (g *grid) RouterOf(core int) int  { return core / g.concentration }
+func (g *grid) LocalPort(core int) int { return core % g.concentration }
+
+func (g *grid) CoreAt(router, localPort int) int {
+	if localPort < 0 || localPort >= g.concentration || router < 0 || router >= g.NumRouters() {
+		return -1
+	}
+	return router*g.concentration + localPort
+}
+
+func (g *grid) Coord(router int) (x, y int) { return router % g.width, router / g.width }
+
+func (g *grid) RouterAt(x, y int) int {
+	if x < 0 || x >= g.width || y < 0 || y >= g.height {
+		return -1
+	}
+	return y*g.width + x
+}
+
+// Cardinal port offsets relative to Concentration.
+const (
+	North = 0
+	East  = 1
+	South = 2
+	West  = 3
+)
+
+// PortNorth..PortWest return the absolute port index of a cardinal
+// direction for topology t.
+func PortNorth(t Topology) int { return t.Concentration() + North }
+func PortEast(t Topology) int  { return t.Concentration() + East }
+func PortSouth(t Topology) int { return t.Concentration() + South }
+func PortWest(t Topology) int  { return t.Concentration() + West }
+
+// IsLocalPort reports whether port p on topology t is a core port.
+func IsLocalPort(t Topology, p int) bool { return p >= 0 && p < t.Concentration() }
+
+// OppositePort returns the port on the neighboring router that a link out
+// of port p arrives at (N<->S, E<->W). It panics for local ports.
+func OppositePort(t Topology, p int) int {
+	c := t.Concentration()
+	switch p - c {
+	case North:
+		return c + South
+	case South:
+		return c + North
+	case East:
+		return c + West
+	case West:
+		return c + East
+	}
+	panic(fmt.Sprintf("topology: OppositePort of local port %d", p))
+}
+
+// PortName renders a port index for topology t ("L0", "N", "E", ...).
+func PortName(t Topology, p int) string {
+	c := t.Concentration()
+	if p < c {
+		return fmt.Sprintf("L%d", p)
+	}
+	switch p - c {
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	}
+	return fmt.Sprintf("P%d", p)
+}
+
+func (g *grid) Neighbor(router, port int) int {
+	c := g.concentration
+	if port < c {
+		return -1
+	}
+	x, y := g.Coord(router)
+	switch port - c {
+	case North:
+		return g.RouterAt(x, y-1)
+	case East:
+		return g.RouterAt(x+1, y)
+	case South:
+		return g.RouterAt(x, y+1)
+	case West:
+		return g.RouterAt(x-1, y)
+	}
+	return -1
+}

@@ -1,0 +1,198 @@
+package traffic
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/flit"
+)
+
+// Binary trace format:
+//
+//	magic   [4]byte  "DZNT"
+//	version uint16   (1)
+//	cores   uint32
+//	horizon int64
+//	nameLen uint16, name bytes
+//	count   uint64
+//	entries: time int64, src uint32, dst uint32, kind uint8
+//
+// All integers little-endian.
+
+var traceMagic = [4]byte{'D', 'Z', 'N', 'T'}
+
+const traceVersion = 1
+
+// WriteBinary serializes a trace in the binary format.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	hdr := []any{
+		uint16(traceVersion),
+		uint32(t.Cores),
+		t.Horizon,
+		uint16(len(t.Name)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Entries))); err != nil {
+		return err
+	}
+	for _, e := range t.Entries {
+		if err := binary.Write(bw, binary.LittleEndian, e.Time); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(e.Src)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(e.Dst)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint8(e.Kind)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a trace from the binary format.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("traffic: read magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("traffic: bad magic %q", magic)
+	}
+	var version uint16
+	var cores uint32
+	var horizon int64
+	var nameLen uint16
+	for _, p := range []any{&version, &cores, &horizon, &nameLen} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("traffic: read header: %w", err)
+		}
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("traffic: unsupported trace version %d", version)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("traffic: read name: %w", err)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("traffic: read count: %w", err)
+	}
+	// Never trust the declared count for allocation: grow as entries
+	// actually arrive, so a corrupt header fails with a read error
+	// instead of exhausting memory.
+	prealloc := count
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	t := &Trace{Name: string(name), Cores: int(cores), Horizon: horizon, Entries: make([]Entry, 0, prealloc)}
+	for i := uint64(0); i < count; i++ {
+		var e Entry
+		var src, dst uint32
+		var kind uint8
+		if err := binary.Read(br, binary.LittleEndian, &e.Time); err != nil {
+			return nil, fmt.Errorf("traffic: read entry %d: %w", i, err)
+		}
+		for _, p := range []any{&src, &dst, &kind} {
+			if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+				return nil, fmt.Errorf("traffic: read entry %d: %w", i, err)
+			}
+		}
+		e.Src = int(src)
+		e.Dst = int(dst)
+		e.Kind = flit.Kind(kind)
+		t.Entries = append(t.Entries, e)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteCSV serializes a trace as "time,src,dst,kind" rows with a header.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "src", "dst", "kind"}); err != nil {
+		return err
+	}
+	for _, e := range t.Entries {
+		rec := []string{
+			strconv.FormatInt(e.Time, 10),
+			strconv.Itoa(e.Src),
+			strconv.Itoa(e.Dst),
+			e.Kind.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace from the CSV format; name/cores/horizon must be
+// supplied since the CSV carries only entries.
+func ReadCSV(r io.Reader, name string, cores int) (*Trace, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("traffic: read csv: %w", err)
+	}
+	t := &Trace{Name: name, Cores: cores}
+	for i, rec := range recs {
+		if i == 0 && rec[0] == "time" {
+			continue // header
+		}
+		if len(rec) != 4 {
+			return nil, fmt.Errorf("traffic: csv row %d has %d fields", i, len(rec))
+		}
+		tm, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: csv row %d time: %w", i, err)
+		}
+		src, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("traffic: csv row %d src: %w", i, err)
+		}
+		dst, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("traffic: csv row %d dst: %w", i, err)
+		}
+		var kind flit.Kind
+		switch rec[3] {
+		case "request":
+			kind = flit.Request
+		case "response":
+			kind = flit.Response
+		default:
+			return nil, fmt.Errorf("traffic: csv row %d kind %q", i, rec[3])
+		}
+		t.Entries = append(t.Entries, Entry{Time: tm, Src: src, Dst: dst, Kind: kind})
+		if tm > t.Horizon {
+			t.Horizon = tm
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,53 @@
+package traffic
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func fuzzTopo() topology.Topology { return topology.NewMesh(8, 8) }
+
+// FuzzReadBinary hardens the binary trace decoder against corrupt input:
+// it must return an error or a valid trace, never panic.
+func FuzzReadBinary(f *testing.F) {
+	tr := Synthetic(fuzzTopo(), UniformRandom, 0.02, 500, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("DZNT"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid trace: %v", err)
+		}
+	})
+}
+
+// FuzzReadCSV does the same for the CSV decoder.
+func FuzzReadCSV(f *testing.F) {
+	tr := Synthetic(fuzzTopo(), UniformRandom, 0.02, 200, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("time,src,dst,kind\n0,0,1,request\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadCSV(bytes.NewReader([]byte(data)), "fuzz", 64)
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid trace: %v", err)
+		}
+	})
+}

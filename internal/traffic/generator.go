@@ -1,0 +1,191 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/flit"
+	"repro/internal/topology"
+)
+
+// Generator synthesizes a Trace from a Profile on a topology. All
+// randomness comes from a seeded PRNG, so a (profile, topology, horizon,
+// seed) tuple always yields the identical trace.
+type Generator struct {
+	Topo    topology.Topology
+	Horizon int64
+	Seed    int64
+}
+
+// Generate produces the trace for one profile.
+func (g Generator) Generate(p Profile) *Trace {
+	if g.Horizon <= 0 {
+		panic(fmt.Sprintf("traffic: non-positive horizon %d", g.Horizon))
+	}
+	rng := rand.New(rand.NewSource(g.Seed ^ int64(hashName(p.Name))))
+	cores := g.Topo.NumCores()
+	tr := &Trace{Name: p.Name, Cores: cores, Horizon: g.Horizon}
+
+	hotspots := g.hotspotCores()
+	locals := g.localCores()
+
+	// Per-core ON/OFF phase state.
+	onLeft := make([]int64, cores)  // remaining ON ticks; 0 while OFF
+	offLeft := make([]int64, cores) // remaining OFF ticks; 0 while ON
+	offMean := float64(p.OnMean) * (1 - p.Duty) / p.Duty
+	phaseLen := func(mean float64) int64 { return geometric(rng, mean) }
+	if p.TailAlpha > 0 {
+		phaseLen = func(mean float64) int64 { return pareto(rng, mean, p.TailAlpha) }
+	}
+	for c := 0; c < cores; c++ {
+		// Start each core at a random point of its cycle.
+		if rng.Float64() < p.Duty {
+			onLeft[c] = phaseLen(float64(p.OnMean))
+		} else {
+			offLeft[c] = phaseLen(offMean)
+		}
+	}
+
+	for t := int64(0); t < g.Horizon; t++ {
+		// Global program phase: per-tick rate scaled by the shared
+		// compute/communicate window, on top of per-core ON/OFF bursts.
+		pOn := p.RateAt(t) / p.Duty
+		if pOn > 1 {
+			pOn = 1
+		}
+		for c := 0; c < cores; c++ {
+			if offLeft[c] > 0 {
+				offLeft[c]--
+				if offLeft[c] == 0 {
+					onLeft[c] = phaseLen(float64(p.OnMean))
+				}
+				continue
+			}
+			if onLeft[c] > 0 {
+				onLeft[c]--
+				if onLeft[c] == 0 {
+					offLeft[c] = phaseLen(offMean)
+				}
+			}
+			if rng.Float64() >= pOn {
+				continue
+			}
+			dst := g.pickDest(rng, p, c, hotspots, locals)
+			tr.Entries = append(tr.Entries, Entry{Time: t, Src: c, Dst: dst, Kind: flit.Request})
+			if rng.Float64() < p.RespFrac {
+				// The destination answers after its service delay plus a
+				// rough network transit estimate, mirroring how the
+				// paper's traces carry responses as separate entries.
+				transit := int64(2 * topology.Hops(g.Topo, c, dst))
+				respAt := t + int64(p.RespDelay) + transit
+				tr.Entries = append(tr.Entries, Entry{Time: respAt, Src: dst, Dst: c, Kind: flit.Response})
+			}
+		}
+	}
+	tr.SortEntries()
+	return tr
+}
+
+// hotspotCores returns one core per corner router — the synthetic stand-in
+// for memory-controller locations.
+func (g Generator) hotspotCores() []int {
+	t := g.Topo
+	corners := []int{
+		t.RouterAt(0, 0),
+		t.RouterAt(t.Width()-1, 0),
+		t.RouterAt(0, t.Height()-1),
+		t.RouterAt(t.Width()-1, t.Height()-1),
+	}
+	cores := make([]int, len(corners))
+	for i, r := range corners {
+		cores[i] = t.CoreAt(r, 0)
+	}
+	return cores
+}
+
+// localCores precomputes, per core, the candidate destinations within
+// LocalRadius router hops.
+func (g Generator) localCores() [][]int {
+	t := g.Topo
+	out := make([][]int, t.NumCores())
+	for c := range out {
+		for d := 0; d < t.NumCores(); d++ {
+			if d == c {
+				continue
+			}
+			if topology.Hops(t, c, d) <= LocalRadius {
+				out[c] = append(out[c], d)
+			}
+		}
+	}
+	return out
+}
+
+func (g Generator) pickDest(rng *rand.Rand, p Profile, src int, hotspots []int, locals [][]int) int {
+	r := rng.Float64()
+	if r < p.Hotspot {
+		if d := hotspots[rng.Intn(len(hotspots))]; d != src {
+			return d
+		}
+	} else if r < p.Hotspot+p.Locality && len(locals[src]) > 0 {
+		return locals[src][rng.Intn(len(locals[src]))]
+	}
+	// Uniform over all other cores.
+	for {
+		d := rng.Intn(g.Topo.NumCores())
+		if d != src {
+			return d
+		}
+	}
+}
+
+// geometric draws a geometric-like phase length with the given mean
+// (at least 1).
+func geometric(rng *rand.Rand, mean float64) int64 {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := int64(1)
+	for rng.Float64() >= p {
+		n++
+		if n > int64(mean*20) { // bound pathological tails
+			break
+		}
+	}
+	return n
+}
+
+// pareto draws a heavy-tailed phase length with the given mean and shape
+// alpha > 1 (bounded Pareto: x_m * U^(-1/alpha), clipped at 100x the mean
+// to keep horizons finite). The mean of an unbounded Pareto is
+// x_m*alpha/(alpha-1), so x_m is back-derived from the requested mean.
+func pareto(rng *rand.Rand, mean, alpha float64) int64 {
+	if mean <= 1 || alpha <= 1 {
+		return geometric(rng, mean)
+	}
+	xm := mean * (alpha - 1) / alpha
+	u := rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	v := xm * math.Pow(u, -1/alpha)
+	if max := mean * 100; v > max {
+		v = max
+	}
+	if v < 1 {
+		v = 1
+	}
+	return int64(v)
+}
+
+// hashName gives a stable per-benchmark seed perturbation (FNV-1a).
+func hashName(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

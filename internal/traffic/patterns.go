@@ -1,0 +1,104 @@
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/flit"
+	"repro/internal/topology"
+)
+
+// Pattern is a classic synthetic destination pattern used for sanity and
+// ablation studies alongside the benchmark profiles.
+type Pattern uint8
+
+const (
+	// UniformRandom picks destinations uniformly.
+	UniformRandom Pattern = iota
+	// Transpose sends core (x, y) to core (y, x).
+	Transpose
+	// BitComplement sends core i to core ^i (mod cores).
+	BitComplement
+	// Hotspot sends everything to the four corner cores.
+	Hotspot
+	// Neighbor sends to the next core in row-major order.
+	Neighbor
+)
+
+// String names a pattern.
+func (p Pattern) String() string {
+	switch p {
+	case UniformRandom:
+		return "uniform"
+	case Transpose:
+		return "transpose"
+	case BitComplement:
+		return "bitcomp"
+	case Hotspot:
+		return "hotspot"
+	case Neighbor:
+		return "neighbor"
+	}
+	return fmt.Sprintf("Pattern(%d)", uint8(p))
+}
+
+// Synthetic generates a Bernoulli-injection trace with a fixed pattern at
+// rate packets/core/tick over horizon ticks. Every packet is a request
+// (no responses), matching how synthetic patterns are normally driven.
+func Synthetic(topo topology.Topology, p Pattern, rate float64, horizon, seed int64) *Trace {
+	if rate <= 0 || rate > 1 {
+		panic(fmt.Sprintf("traffic: bad synthetic rate %g", rate))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cores := topo.NumCores()
+	tr := &Trace{Name: fmt.Sprintf("%v-%.3f", p, rate), Cores: cores, Horizon: horizon}
+	for t := int64(0); t < horizon; t++ {
+		for c := 0; c < cores; c++ {
+			if rng.Float64() >= rate {
+				continue
+			}
+			d := destFor(topo, p, c, rng)
+			if d == c {
+				continue
+			}
+			tr.Entries = append(tr.Entries, Entry{Time: t, Src: c, Dst: d, Kind: flit.Request})
+		}
+	}
+	tr.SortEntries()
+	return tr
+}
+
+func destFor(topo topology.Topology, p Pattern, src int, rng *rand.Rand) int {
+	cores := topo.NumCores()
+	switch p {
+	case Transpose:
+		r := topo.RouterOf(src)
+		x, y := topo.Coord(r)
+		tr := topo.RouterAt(y, x)
+		if tr < 0 {
+			return src
+		}
+		return topo.CoreAt(tr, topo.LocalPort(src))
+	case BitComplement:
+		nbits := bits.Len(uint(cores - 1))
+		return (^src) & ((1 << nbits) - 1) % cores
+	case Hotspot:
+		corners := []int{
+			topo.CoreAt(topo.RouterAt(0, 0), 0),
+			topo.CoreAt(topo.RouterAt(topo.Width()-1, 0), 0),
+			topo.CoreAt(topo.RouterAt(0, topo.Height()-1), 0),
+			topo.CoreAt(topo.RouterAt(topo.Width()-1, topo.Height()-1), 0),
+		}
+		return corners[rng.Intn(len(corners))]
+	case Neighbor:
+		return (src + 1) % cores
+	default: // UniformRandom
+		for {
+			d := rng.Intn(cores)
+			if d != src {
+				return d
+			}
+		}
+	}
+}

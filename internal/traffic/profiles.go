@@ -1,0 +1,174 @@
+package traffic
+
+import "fmt"
+
+// Split labels a benchmark's role in the ML pipeline. The paper uses 14
+// traces: 6 for training, 3 for validation, 5 for testing.
+type Split uint8
+
+const (
+	Train Split = iota
+	Validation
+	Test
+)
+
+// String renders a split.
+func (s Split) String() string {
+	switch s {
+	case Train:
+		return "train"
+	case Validation:
+		return "validation"
+	case Test:
+		return "test"
+	}
+	return fmt.Sprintf("Split(%d)", uint8(s))
+}
+
+// Profile parameterizes the synthetic generator for one benchmark. The
+// values below are chosen per benchmark class: compute-bound codes
+// (blackscholes, swaptions) inject rarely with long quiet phases, giving
+// power-gating headroom; memory-bound codes (canneal, streamcluster, radix
+// -like) sustain higher, burstier loads that exercise DVFS.
+type Profile struct {
+	Name  string
+	Suite string // "parsec" or "splash2"
+	Split Split
+
+	// ReqRate is the long-run average request injection rate per core in
+	// packets per base tick (load is ReqRate*(1+RespFrac*5) flits).
+	ReqRate float64
+	// Duty is the fraction of time a core spends in its ON phase;
+	// injections only occur while ON, at rate ReqRate/Duty.
+	Duty float64
+	// OnMean is the mean ON-phase length in ticks (geometric); the OFF
+	// phase mean is derived from Duty.
+	OnMean int
+	// Hotspot is the probability a request targets a memory-controller
+	// corner core.
+	Hotspot float64
+	// Locality is the probability a non-hotspot request targets a core
+	// within LocalRadius router hops of the sender.
+	Locality float64
+	// RespFrac is the fraction of requests that produce a response
+	// (reads vs writes).
+	RespFrac float64
+	// RespDelay is the destination service time in ticks before the
+	// response is injected.
+	RespDelay int
+
+	// TailAlpha, when positive, draws ON/OFF phase lengths from a
+	// Pareto-like heavy-tailed distribution with this shape parameter
+	// instead of the default geometric — producing the self-similar
+	// burst structure measured in real multiprocessor traffic. Values in
+	// (1, 2] give infinite-variance bursts; 0 keeps geometric phases.
+	TailAlpha float64
+
+	// Global program-phase structure: parallel codes alternate
+	// communication-heavy windows (after barriers, during exchanges) with
+	// compute windows where the network goes nearly silent. PhasePeriod
+	// is the period in ticks; CommFrac the fraction of it spent in the
+	// communication window; QuietScale the injection-rate multiplier
+	// during the compute window. The communication-window rate is boosted
+	// so the long-run average stays at ReqRate. A zero PhasePeriod
+	// disables phasing.
+	PhasePeriod int64
+	CommFrac    float64
+	QuietScale  float64
+}
+
+// CommScale returns the injection-rate multiplier during the
+// communication window that preserves the long-run mean rate.
+func (p Profile) CommScale() float64 {
+	if p.PhasePeriod <= 0 || p.CommFrac <= 0 || p.CommFrac >= 1 {
+		return 1
+	}
+	return (1 - p.QuietScale*(1-p.CommFrac)) / p.CommFrac
+}
+
+// RateAt returns the instantaneous request rate per core at tick t.
+func (p Profile) RateAt(t int64) float64 {
+	if p.PhasePeriod <= 0 {
+		return p.ReqRate
+	}
+	if float64(t%p.PhasePeriod) < p.CommFrac*float64(p.PhasePeriod) {
+		return p.ReqRate * p.CommScale()
+	}
+	return p.ReqRate * p.QuietScale
+}
+
+// LocalRadius is the Manhattan radius defining "local" destinations.
+const LocalRadius = 2
+
+// Profiles returns the 14 benchmark profiles in a stable order:
+// 6 training, 3 validation, 5 test, matching the paper's protocol.
+func Profiles() []Profile {
+	return []Profile{
+		// --- training (6) ---
+		{Name: "blackscholes", Suite: "parsec", Split: Train,
+			ReqRate: 0.0022, Duty: 0.40, OnMean: 900, Hotspot: 0.20, Locality: 0.35, RespFrac: 0.85, RespDelay: 90,
+			PhasePeriod: 16000, CommFrac: 0.10, QuietScale: 0.042},
+		{Name: "bodytrack", Suite: "parsec", Split: Train,
+			ReqRate: 0.0050, Duty: 0.55, OnMean: 700, Hotspot: 0.25, Locality: 0.30, RespFrac: 0.80, RespDelay: 90,
+			PhasePeriod: 12000, CommFrac: 0.15, QuietScale: 0.104},
+		{Name: "canneal", Suite: "parsec", Split: Train,
+			ReqRate: 0.0117, Duty: 0.85, OnMean: 2000, Hotspot: 0.30, Locality: 0.10, RespFrac: 0.90, RespDelay: 110,
+			PhasePeriod: 20000, CommFrac: 0.30, QuietScale: 0.312},
+		{Name: "dedup", Suite: "parsec", Split: Train,
+			ReqRate: 0.0072, Duty: 0.60, OnMean: 800, Hotspot: 0.20, Locality: 0.40, RespFrac: 0.75, RespDelay: 90,
+			PhasePeriod: 10000, CommFrac: 0.18, QuietScale: 0.125},
+		{Name: "ferret", Suite: "parsec", Split: Train,
+			ReqRate: 0.0090, Duty: 0.70, OnMean: 1200, Hotspot: 0.25, Locality: 0.30, RespFrac: 0.80, RespDelay: 100,
+			PhasePeriod: 14000, CommFrac: 0.22, QuietScale: 0.166},
+		{Name: "fluidanimate", Suite: "parsec", Split: Train,
+			ReqRate: 0.0040, Duty: 0.50, OnMean: 1000, Hotspot: 0.15, Locality: 0.55, RespFrac: 0.80, RespDelay: 90,
+			PhasePeriod: 18000, CommFrac: 0.12, QuietScale: 0.062},
+		// --- validation (3) ---
+		{Name: "freqmine", Suite: "parsec", Split: Validation,
+			ReqRate: 0.0061, Duty: 0.55, OnMean: 900, Hotspot: 0.20, Locality: 0.35, RespFrac: 0.85, RespDelay: 95,
+			PhasePeriod: 13000, CommFrac: 0.16, QuietScale: 0.125},
+		{Name: "streamcluster", Suite: "parsec", Split: Validation,
+			ReqRate: 0.0135, Duty: 0.90, OnMean: 2500, Hotspot: 0.35, Locality: 0.10, RespFrac: 0.90, RespDelay: 110,
+			PhasePeriod: 24000, CommFrac: 0.35, QuietScale: 0.374},
+		{Name: "swaptions", Suite: "parsec", Split: Validation,
+			ReqRate: 0.0025, Duty: 0.40, OnMean: 1100, Hotspot: 0.15, Locality: 0.45, RespFrac: 0.80, RespDelay: 85,
+			PhasePeriod: 18000, CommFrac: 0.10, QuietScale: 0.042},
+		// --- test (5) ---
+		{Name: "vips", Suite: "parsec", Split: Test,
+			ReqRate: 0.0065, Duty: 0.60, OnMean: 800, Hotspot: 0.25, Locality: 0.30, RespFrac: 0.80, RespDelay: 95,
+			PhasePeriod: 12000, CommFrac: 0.18, QuietScale: 0.125},
+		{Name: "x264", Suite: "parsec", Split: Test,
+			ReqRate: 0.0086, Duty: 0.55, OnMean: 600, Hotspot: 0.25, Locality: 0.35, RespFrac: 0.75, RespDelay: 90,
+			PhasePeriod: 9000, CommFrac: 0.20, QuietScale: 0.166},
+		{Name: "barnes", Suite: "splash2", Split: Test,
+			ReqRate: 0.0054, Duty: 0.50, OnMean: 1000, Hotspot: 0.20, Locality: 0.45, RespFrac: 0.85, RespDelay: 95,
+			PhasePeriod: 15000, CommFrac: 0.14, QuietScale: 0.083},
+		{Name: "fft", Suite: "splash2", Split: Test,
+			ReqRate: 0.0108, Duty: 0.65, OnMean: 600, Hotspot: 0.20, Locality: 0.15, RespFrac: 0.90, RespDelay: 100,
+			PhasePeriod: 10000, CommFrac: 0.25, QuietScale: 0.208},
+		{Name: "lu", Suite: "splash2", Split: Test,
+			ReqRate: 0.0036, Duty: 0.45, OnMean: 1300, Hotspot: 0.15, Locality: 0.50, RespFrac: 0.85, RespDelay: 90,
+			PhasePeriod: 17000, CommFrac: 0.11, QuietScale: 0.062},
+	}
+}
+
+// ProfilesBySplit filters Profiles by split.
+func ProfilesBySplit(s Split) []Profile {
+	var out []Profile
+	for _, p := range Profiles() {
+		if p.Split == s {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ProfileByName looks a profile up by name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

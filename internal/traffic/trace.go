@@ -1,0 +1,116 @@
+// Package traffic provides the workload substrate: the trace format the
+// network simulator consumes (source, destination, request/response kind,
+// injection time — the fields the paper's Multi2Sim traces carry), a
+// deterministic synthetic generator with one profile per PARSEC/SPLASH-2
+// benchmark, classic synthetic patterns for sanity studies, and binary/CSV
+// codecs.
+//
+// The paper gathered 14 trace files from a full-system simulator; this
+// repository substitutes synthetic traces whose statistical shape (average
+// load, ON/OFF burst structure, spatial locality, hotspotting toward
+// memory controllers, request/response mix) is parameterized per benchmark
+// class. Power-management results depend on exactly those properties —
+// idleness drives power-gating, load variability drives DVFS — so the
+// substitution preserves the behaviors under study (see DESIGN.md §2).
+package traffic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/flit"
+)
+
+// Entry is one trace record: a packet injected at a core at a given time.
+type Entry struct {
+	Time int64 // injection time in base ticks
+	Src  int   // source core
+	Dst  int   // destination core
+	Kind flit.Kind
+}
+
+// Trace is an ordered packet trace for a fixed number of cores.
+type Trace struct {
+	Name    string
+	Cores   int
+	Horizon int64 // last generation tick (entries may slightly exceed it
+	// due to response service delays)
+	Entries []Entry
+}
+
+// SortEntries orders entries by time (stable on ties, keeping generation
+// order deterministic).
+func (t *Trace) SortEntries() {
+	sort.SliceStable(t.Entries, func(i, j int) bool { return t.Entries[i].Time < t.Entries[j].Time })
+}
+
+// Validate checks entry sanity against the core count.
+func (t *Trace) Validate() error {
+	last := int64(-1)
+	for i, e := range t.Entries {
+		if e.Src < 0 || e.Src >= t.Cores || e.Dst < 0 || e.Dst >= t.Cores {
+			return fmt.Errorf("traffic: entry %d has cores (%d,%d) outside [0,%d)", i, e.Src, e.Dst, t.Cores)
+		}
+		if e.Src == e.Dst {
+			return fmt.Errorf("traffic: entry %d sends core %d to itself", i, e.Src)
+		}
+		if e.Time < last {
+			return fmt.Errorf("traffic: entry %d out of order (%d after %d)", i, e.Time, last)
+		}
+		last = e.Time
+	}
+	return nil
+}
+
+// Compress returns a copy of the trace with every injection time divided
+// by factor — the paper's "compressed" traces, which raise offered load by
+// squeezing the same packets into less time.
+func (t *Trace) Compress(factor int64) *Trace {
+	if factor < 1 {
+		panic(fmt.Sprintf("traffic: bad compression factor %d", factor))
+	}
+	out := &Trace{
+		Name:    fmt.Sprintf("%s/c%d", t.Name, factor),
+		Cores:   t.Cores,
+		Horizon: t.Horizon / factor,
+		Entries: make([]Entry, len(t.Entries)),
+	}
+	for i, e := range t.Entries {
+		e.Time /= factor
+		out.Entries[i] = e
+	}
+	out.SortEntries()
+	return out
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Packets    int
+	Requests   int
+	Responses  int
+	Flits      int64
+	Span       int64   // ticks from first to last entry
+	FlitRate   float64 // flits per core per tick over the span
+	PacketRate float64
+}
+
+// Summarize computes trace statistics.
+func (t *Trace) Summarize() Stats {
+	s := Stats{Packets: len(t.Entries)}
+	if len(t.Entries) == 0 {
+		return s
+	}
+	for _, e := range t.Entries {
+		if e.Kind == flit.Request {
+			s.Requests++
+		} else {
+			s.Responses++
+		}
+		s.Flits += int64(e.Kind.Flits())
+	}
+	s.Span = t.Entries[len(t.Entries)-1].Time - t.Entries[0].Time + 1
+	den := float64(s.Span) * float64(t.Cores)
+	s.FlitRate = float64(s.Flits) / den
+	s.PacketRate = float64(s.Packets) / den
+	return s
+}

@@ -1,0 +1,393 @@
+package traffic
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/topology"
+)
+
+func genTrace(t *testing.T, name string, horizon int64) *Trace {
+	t.Helper()
+	p, ok := ProfileByName(name)
+	if !ok {
+		t.Fatalf("unknown profile %q", name)
+	}
+	g := Generator{Topo: topology.NewMesh(8, 8), Horizon: horizon, Seed: 7}
+	return g.Generate(p)
+}
+
+func TestProfilesProtocol(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 14 {
+		t.Fatalf("%d profiles, paper uses 14 traces", len(ps))
+	}
+	counts := map[Split]int{}
+	names := map[string]bool{}
+	for _, p := range ps {
+		counts[p.Split]++
+		if names[p.Name] {
+			t.Fatalf("duplicate profile %q", p.Name)
+		}
+		names[p.Name] = true
+		if p.ReqRate <= 0 || p.ReqRate > 0.5 {
+			t.Errorf("%s: implausible rate %g", p.Name, p.ReqRate)
+		}
+		if p.Duty <= 0 || p.Duty > 1 {
+			t.Errorf("%s: bad duty %g", p.Name, p.Duty)
+		}
+		if p.Hotspot+p.Locality > 1 {
+			t.Errorf("%s: hotspot+locality > 1", p.Name)
+		}
+		if p.RespFrac < 0 || p.RespFrac > 1 {
+			t.Errorf("%s: bad response fraction", p.Name)
+		}
+		if p.Suite != "parsec" && p.Suite != "splash2" {
+			t.Errorf("%s: unknown suite %q", p.Name, p.Suite)
+		}
+	}
+	if counts[Train] != 6 || counts[Validation] != 3 || counts[Test] != 5 {
+		t.Fatalf("split = %d/%d/%d, want 6/3/5", counts[Train], counts[Validation], counts[Test])
+	}
+}
+
+func TestProfilesBySplit(t *testing.T) {
+	if len(ProfilesBySplit(Test)) != 5 {
+		t.Fatal("test split wrong")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Fatal("bogus profile found")
+	}
+}
+
+func TestSplitString(t *testing.T) {
+	if Train.String() != "train" || Validation.String() != "validation" || Test.String() != "test" {
+		t.Error("split strings wrong")
+	}
+	if Split(9).String() == "" {
+		t.Error("unknown split empty")
+	}
+}
+
+func TestCommScalePreservesMean(t *testing.T) {
+	for _, p := range Profiles() {
+		if p.PhasePeriod <= 0 {
+			continue
+		}
+		mean := p.CommFrac*p.CommScale() + (1-p.CommFrac)*p.QuietScale
+		if mean < 0.999 || mean > 1.001 {
+			t.Errorf("%s: phase scaling changes the mean rate by %g", p.Name, mean)
+		}
+	}
+}
+
+func TestRateAt(t *testing.T) {
+	p, _ := ProfileByName("fft")
+	comm := p.RateAt(0) // phase starts in the communication window
+	quiet := p.RateAt(p.PhasePeriod - 1)
+	if comm <= quiet {
+		t.Fatalf("comm rate %g must exceed quiet rate %g", comm, quiet)
+	}
+	flat := Profile{ReqRate: 0.01}
+	if flat.RateAt(123) != 0.01 {
+		t.Error("unphased profile must be flat")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := genTrace(t, "fft", 5000)
+	b := genTrace(t, "fft", 5000)
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Entries), len(b.Entries))
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	p, _ := ProfileByName("fft")
+	g1 := Generator{Topo: topology.NewMesh(8, 8), Horizon: 5000, Seed: 1}
+	g2 := Generator{Topo: topology.NewMesh(8, 8), Horizon: 5000, Seed: 2}
+	a, b := g1.Generate(p), g2.Generate(p)
+	if len(a.Entries) == len(b.Entries) {
+		same := true
+		for i := range a.Entries {
+			if a.Entries[i] != b.Entries[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGeneratedTraceValid(t *testing.T) {
+	for _, name := range []string{"fft", "blackscholes", "streamcluster"} {
+		tr := genTrace(t, name, 8000)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tr.Entries) == 0 {
+			t.Fatalf("%s: empty trace", name)
+		}
+	}
+}
+
+func TestGeneratedLoadTracksProfile(t *testing.T) {
+	// The realized request rate should be within 2x of the profile mean
+	// (phases and bursts add variance over short horizons).
+	for _, name := range []string{"fft", "canneal"} {
+		p, _ := ProfileByName(name)
+		tr := genTrace(t, name, 40000)
+		s := tr.Summarize()
+		reqRate := float64(s.Requests) / (float64(tr.Horizon) * 64)
+		if reqRate < p.ReqRate/2 || reqRate > p.ReqRate*2 {
+			t.Errorf("%s: realized %g vs profile %g", name, reqRate, p.ReqRate)
+		}
+	}
+}
+
+func TestResponsesFollowRequests(t *testing.T) {
+	tr := genTrace(t, "fft", 5000)
+	s := tr.Summarize()
+	p, _ := ProfileByName("fft")
+	frac := float64(s.Responses) / float64(s.Requests)
+	if frac < p.RespFrac-0.1 || frac > p.RespFrac+0.1 {
+		t.Fatalf("response fraction %g, profile %g", frac, p.RespFrac)
+	}
+}
+
+func TestCompress(t *testing.T) {
+	tr := genTrace(t, "fft", 5000)
+	c := tr.Compress(4)
+	if c.Horizon != tr.Horizon/4 {
+		t.Errorf("compressed horizon = %d", c.Horizon)
+	}
+	if len(c.Entries) != len(tr.Entries) {
+		t.Fatal("compression changed packet count")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, cs := tr.Summarize(), c.Summarize()
+	if cs.FlitRate < 3*s.FlitRate {
+		t.Errorf("x4 compression raised flit rate only %gx", cs.FlitRate/s.FlitRate)
+	}
+}
+
+func TestCompressBadFactorPanics(t *testing.T) {
+	tr := &Trace{Cores: 2}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("factor 0 did not panic")
+		}
+	}()
+	tr.Compress(0)
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []*Trace{
+		{Cores: 4, Entries: []Entry{{Time: 0, Src: 4, Dst: 0}}},
+		{Cores: 4, Entries: []Entry{{Time: 0, Src: 0, Dst: 0}}},
+		{Cores: 4, Entries: []Entry{{Time: 5, Src: 0, Dst: 1}, {Time: 1, Src: 1, Dst: 2}}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("bad trace %d accepted", i)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	tr := &Trace{Cores: 4}
+	s := tr.Summarize()
+	if s.Packets != 0 || s.Flits != 0 {
+		t.Fatal("empty trace summary wrong")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := genTrace(t, "lu", 3000)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Cores != tr.Cores || got.Horizon != tr.Horizon {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Entries) != len(tr.Entries) {
+		t.Fatalf("entry count %d vs %d", len(got.Entries), len(tr.Entries))
+	}
+	for i := range got.Entries {
+		if got.Entries[i] != tr.Entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := genTrace(t, "lu", 2000)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, tr.Name, tr.Cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != len(tr.Entries) {
+		t.Fatalf("entry count %d vs %d", len(got.Entries), len(tr.Entries))
+	}
+	for i := range got.Entries {
+		if got.Entries[i] != tr.Entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestCSVRejectsBadKind(t *testing.T) {
+	csv := "time,src,dst,kind\n0,0,1,bogus\n"
+	if _, err := ReadCSV(bytes.NewReader([]byte(csv)), "x", 4); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}
+
+func TestSyntheticPatterns(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	for _, p := range []Pattern{UniformRandom, Transpose, BitComplement, Hotspot, Neighbor} {
+		tr := Synthetic(topo, p, 0.01, 2000, 1)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if len(tr.Entries) == 0 {
+			t.Fatalf("%v: empty", p)
+		}
+		for _, e := range tr.Entries {
+			if e.Kind != flit.Request {
+				t.Fatalf("%v: synthetic traces are request-only", p)
+			}
+		}
+	}
+}
+
+func TestTransposeDestinations(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	tr := Synthetic(topo, Transpose, 0.05, 500, 1)
+	for _, e := range tr.Entries {
+		sx, sy := topo.Coord(topo.RouterOf(e.Src))
+		dx, dy := topo.Coord(topo.RouterOf(e.Dst))
+		if dx != sy || dy != sx {
+			t.Fatalf("transpose sent (%d,%d) -> (%d,%d)", sx, sy, dx, dy)
+		}
+	}
+}
+
+func TestNeighborDestinations(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	tr := Synthetic(topo, Neighbor, 0.05, 500, 1)
+	for _, e := range tr.Entries {
+		if e.Dst != (e.Src+1)%topo.NumCores() {
+			t.Fatalf("neighbor sent %d -> %d", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestHotspotDestinations(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	tr := Synthetic(topo, Hotspot, 0.05, 500, 1)
+	corners := map[int]bool{
+		topo.CoreAt(topo.RouterAt(0, 0), 0): true,
+		topo.CoreAt(topo.RouterAt(3, 0), 0): true,
+		topo.CoreAt(topo.RouterAt(0, 3), 0): true,
+		topo.CoreAt(topo.RouterAt(3, 3), 0): true,
+	}
+	for _, e := range tr.Entries {
+		if !corners[e.Dst] {
+			t.Fatalf("hotspot sent to non-corner %d", e.Dst)
+		}
+	}
+}
+
+func TestSyntheticBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate 0 did not panic")
+		}
+	}()
+	Synthetic(topology.NewMesh(4, 4), UniformRandom, 0, 100, 1)
+}
+
+func TestPatternString(t *testing.T) {
+	if UniformRandom.String() != "uniform" || Pattern(99).String() == "" {
+		t.Error("pattern strings wrong")
+	}
+}
+
+func TestParetoPhases(t *testing.T) {
+	p, _ := ProfileByName("fft")
+	p.Name = "fft-heavy"
+	p.TailAlpha = 1.5
+	g := Generator{Topo: topology.NewMesh(8, 8), Horizon: 40000, Seed: 7}
+	tr := g.Generate(p)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) == 0 {
+		t.Fatal("empty heavy-tailed trace")
+	}
+	// Long-run rate stays near the profile mean despite the heavy tail.
+	s := tr.Summarize()
+	reqRate := float64(s.Requests) / (float64(tr.Horizon) * 64)
+	if reqRate < p.ReqRate/3 || reqRate > p.ReqRate*3 {
+		t.Errorf("heavy-tailed realized rate %g vs profile %g", reqRate, p.ReqRate)
+	}
+	// And the trace differs from the geometric one (the tail matters).
+	geo := genTrace(t, "fft", 40000)
+	if len(geo.Entries) == len(tr.Entries) {
+		same := true
+		for i := range geo.Entries {
+			if geo.Entries[i] != tr.Entries[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("TailAlpha had no effect")
+		}
+	}
+}
+
+func TestParetoHelper(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(pareto(rng, 100, 1.8))
+	}
+	mean := sum / n
+	// The bounded Pareto mean lands near the requested mean (within 30%).
+	if mean < 70 || mean > 160 {
+		t.Fatalf("pareto mean = %g, want ~100", mean)
+	}
+	// Degenerate parameters fall back to geometric.
+	if v := pareto(rng, 0.5, 1.5); v < 1 {
+		t.Fatal("tiny mean must yield >= 1")
+	}
+}

@@ -1,0 +1,50 @@
+// Package viz renders per-router mesh data as ASCII heatmaps — a quick
+// way to see the spatial structure of power-gating and DVFS decisions
+// (e.g. memory-controller corners staying awake while interior routers
+// sleep).
+package viz
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/topology"
+)
+
+// shades maps [0,1] to increasing ink.
+var shades = []rune(" .:-=+*#%@")
+
+// ShadeFor returns the ASCII shade for a value in [0,1] (clamped).
+func ShadeFor(v float64) rune {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	idx := int(v * float64(len(shades)-1))
+	return shades[idx]
+}
+
+// Heatmap renders value(router) in [0,1] over the topology grid. Values
+// outside [0,1] are clamped.
+func Heatmap(w io.Writer, topo topology.Topology, title string, value func(router int) float64) {
+	fmt.Fprintf(w, "%s  (scale:%s)\n", title, string(shades))
+	for y := 0; y < topo.Height(); y++ {
+		for x := 0; x < topo.Width(); x++ {
+			fmt.Fprintf(w, " %c", ShadeFor(value(topo.RouterAt(x, y))))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Grid renders an arbitrary per-router label (e.g. a mode digit).
+func Grid(w io.Writer, topo topology.Topology, title string, label func(router int) string) {
+	fmt.Fprintln(w, title)
+	for y := 0; y < topo.Height(); y++ {
+		for x := 0; x < topo.Width(); x++ {
+			fmt.Fprintf(w, " %s", label(topo.RouterAt(x, y)))
+		}
+		fmt.Fprintln(w)
+	}
+}

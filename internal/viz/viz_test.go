@@ -1,0 +1,48 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestShadeFor(t *testing.T) {
+	if ShadeFor(0) != ' ' {
+		t.Errorf("zero shade = %q", ShadeFor(0))
+	}
+	if ShadeFor(1) != '@' {
+		t.Errorf("full shade = %q", ShadeFor(1))
+	}
+	if ShadeFor(-1) != ' ' || ShadeFor(2) != '@' {
+		t.Error("clamping wrong")
+	}
+	if ShadeFor(0.5) == ' ' || ShadeFor(0.5) == '@' {
+		t.Error("mid shade should be intermediate")
+	}
+}
+
+func TestHeatmapShape(t *testing.T) {
+	topo := topology.NewMesh(4, 3)
+	var buf bytes.Buffer
+	Heatmap(&buf, topo, "test", func(r int) float64 { return float64(r) / 11 })
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 { // title + 3 rows
+		t.Fatalf("%d lines, want 4", len(lines))
+	}
+	for _, l := range lines[1:] {
+		if len([]rune(l)) != 8 { // " c" per column
+			t.Fatalf("row %q has wrong width", l)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	topo := topology.NewMesh(2, 2)
+	var buf bytes.Buffer
+	Grid(&buf, topo, "grid", func(r int) string { return "X" })
+	if !strings.Contains(buf.String(), "X X") {
+		t.Fatalf("grid output %q", buf.String())
+	}
+}

@@ -1,0 +1,29 @@
+package vr_test
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/vr"
+)
+
+// The SIMO MUX keeps the LDO dropout within 100 mV at every DVFS point.
+func ExampleDropout() {
+	for _, v := range []float64{0.8, 0.9, 1.0, 1.1, 1.2} {
+		fmt.Printf("Vout %.1f <- rail %.1f (dropout %.1fV)\n", v, vr.LDOInputFor(v), vr.Dropout(v))
+	}
+	// Output:
+	// Vout 0.8 <- rail 0.9 (dropout 0.1V)
+	// Vout 0.9 <- rail 0.9 (dropout 0.0V)
+	// Vout 1.0 <- rail 1.1 (dropout 0.1V)
+	// Vout 1.1 <- rail 1.1 (dropout 0.0V)
+	// Vout 1.2 <- rail 1.2 (dropout 0.0V)
+}
+
+// Table III gives the cycle costs the simulator charges per mode.
+func ExampleCostsFor() {
+	c := vr.CostsFor(power.M3)
+	fmt.Printf("M3: T-Switch=%d T-Wakeup=%d T-Breakeven=%d cycles\n", c.TSwitch, c.TWakeup, c.TBreakeven)
+	// Output:
+	// M3: T-Switch=7 T-Wakeup=9 T-Breakeven=8 cycles
+}

@@ -1,0 +1,199 @@
+package vr
+
+import "fmt"
+
+// Circuit-level SIMO converter simulation. The paper's power delivery
+// (Fig 4b, after Ma et al.'s single-inductor multiple-output converter
+// with time-multiplexing control in discontinuous conduction mode, DCM)
+// maintains three rails (0.9/1.1/1.2 V) from one battery-voltage input
+// and one inductor. Because all three rails are held up simultaneously,
+// a DVFS switch only re-MUXes the LDO input — the ns-scale latencies of
+// Table II — while the converter itself evolves on the microsecond scale
+// of Fig 5's axes.
+//
+// The simulation advances one switching period at a time: each period the
+// controller serves the rail with the largest undervoltage (skipping the
+// pulse when every rail is in regulation), ramping the inductor to a
+// fixed peak current and dumping ½·L·I² into the chosen output — the
+// classic peak-current DCM scheme with pulse skipping.
+
+// SIMOParams are the converter's circuit parameters.
+type SIMOParams struct {
+	VinVolts   float64    // battery input (Fig 5 labels it 3 V)
+	InductorUH float64    // single inductor, microhenries
+	CapUF      float64    // per-rail output capacitance, microfarads
+	SwitchMHz  float64    // switching frequency
+	PeakAmps   float64    // DCM peak inductor current
+	Efficiency float64    // conversion efficiency of each energy packet
+	Targets    [3]float64 // rail targets (0.9, 1.1, 1.2)
+	LoadsMA    [3]float64 // per-rail LDO load currents, milliamps
+	Hysteresis float64    // regulation band below target, volts
+}
+
+// DefaultSIMO returns parameters sized for the paper's three-rail design:
+// ~10 mV service ripple, regulation capacity comfortably above the
+// routers' worst-case draw, and tens-of-microseconds cold start.
+func DefaultSIMO() SIMOParams {
+	return SIMOParams{
+		VinVolts:   3.0,
+		InductorUH: 4.7,
+		CapUF:      4.7,
+		SwitchMHz:  2.0,
+		PeakAmps:   0.15,
+		Efficiency: SIMOConversionEfficiency,
+		Targets:    [3]float64{Rails[0], Rails[1], Rails[2]},
+		LoadsMA:    [3]float64{20, 15, 25},
+		Hysteresis: 0.005,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p SIMOParams) Validate() error {
+	switch {
+	case p.VinVolts <= 0 || p.InductorUH <= 0 || p.CapUF <= 0 || p.SwitchMHz <= 0 || p.PeakAmps <= 0:
+		return fmt.Errorf("vr: non-positive SIMO circuit parameter: %+v", p)
+	case p.Efficiency <= 0 || p.Efficiency > 1:
+		return fmt.Errorf("vr: SIMO efficiency %g out of (0,1]", p.Efficiency)
+	case p.Targets[0] <= 0 || p.Targets[0] >= p.VinVolts:
+		return fmt.Errorf("vr: rail targets must sit below Vin")
+	}
+	return nil
+}
+
+// RailSample is the three rail voltages at one instant.
+type RailSample struct {
+	TimeUS float64
+	Volts  [3]float64
+	Served int // rail index charged this period, -1 if the pulse skipped
+}
+
+// SIMOSim is the converter state.
+type SIMOSim struct {
+	P     SIMOParams
+	V     [3]float64 // rail voltages
+	timeS float64
+	// Counters.
+	periods int64
+	pulses  int64
+	served  [3]int64
+}
+
+// NewSIMOSim builds a simulation from cold start (rails at 0 V).
+func NewSIMOSim(p SIMOParams) (*SIMOSim, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &SIMOSim{P: p}, nil
+}
+
+// Step advances one switching period and returns the sample.
+func (s *SIMOSim) Step() RailSample {
+	p := s.P
+	T := 1e-6 / p.SwitchMHz // period in seconds
+	L := p.InductorUH * 1e-6
+	C := p.CapUF * 1e-6
+
+	// Load drain on every rail, every period.
+	for i := range s.V {
+		s.V[i] -= p.LoadsMA[i] * 1e-3 * T / C
+		if s.V[i] < 0 {
+			s.V[i] = 0
+		}
+	}
+
+	// Time-multiplexing control: serve the most undervolted rail; skip
+	// the pulse entirely when every rail sits at or above target.
+	serve := -1
+	worst := 0.0
+	for i := range s.V {
+		if err := p.Targets[i] - s.V[i]; err > worst {
+			worst = err
+			serve = i
+		}
+	}
+	if serve >= 0 {
+		// One DCM energy packet: E = eta * 1/2 L I².
+		e := p.Efficiency * 0.5 * L * p.PeakAmps * p.PeakAmps
+		// Delivered as charge at the rail voltage (clamped away from zero
+		// during start-up, where the packet is charge-limited instead).
+		v := s.V[serve]
+		if v < 0.1 {
+			v = 0.1
+		}
+		s.V[serve] += e / v / C
+		// Never overshoot past the regulation band.
+		if max := p.Targets[serve] + p.Hysteresis; s.V[serve] > max {
+			s.V[serve] = max
+		}
+		s.pulses++
+		s.served[serve]++
+	}
+	s.periods++
+	s.timeS += T
+	return RailSample{TimeUS: s.timeS * 1e6, Volts: s.V, Served: serve}
+}
+
+// Run advances until durationUS microseconds have elapsed, returning one
+// sample per switching period.
+func (s *SIMOSim) Run(durationUS float64) []RailSample {
+	var out []RailSample
+	for s.timeS*1e6 < durationUS {
+		out = append(out, s.Step())
+	}
+	return out
+}
+
+// InRegulation reports whether every rail is within band of its target.
+func (s *SIMOSim) InRegulation(band float64) bool {
+	for i, v := range s.V {
+		if v < s.P.Targets[i]-band || v > s.P.Targets[i]+band {
+			return false
+		}
+	}
+	return true
+}
+
+// StartupTimeUS runs from the current state until all rails regulate
+// (within band) or the deadline passes; it returns the elapsed time and
+// whether regulation was reached.
+func (s *SIMOSim) StartupTimeUS(band, deadlineUS float64) (float64, bool) {
+	start := s.timeS * 1e6
+	for s.timeS*1e6-start < deadlineUS {
+		s.Step()
+		if s.InRegulation(band) {
+			return s.timeS*1e6 - start, true
+		}
+	}
+	return deadlineUS, false
+}
+
+// PulseSkipRate returns the fraction of periods with no pulse — the DCM
+// controller's idle margin (capacity headroom above the load).
+func (s *SIMOSim) PulseSkipRate() float64 {
+	if s.periods == 0 {
+		return 0
+	}
+	return 1 - float64(s.pulses)/float64(s.periods)
+}
+
+// ServiceShare returns the fraction of pulses given to each rail.
+func (s *SIMOSim) ServiceShare() [3]float64 {
+	var out [3]float64
+	if s.pulses == 0 {
+		return out
+	}
+	for i, n := range s.served {
+		out[i] = float64(n) / float64(s.pulses)
+	}
+	return out
+}
+
+// RegulationCapacityMA returns the theoretical charge-delivery capacity
+// of the converter in milliamps at the lowest rail voltage — it must
+// exceed the total load for regulation to hold.
+func (p SIMOParams) RegulationCapacityMA() float64 {
+	L := p.InductorUH * 1e-6
+	e := p.Efficiency * 0.5 * L * p.PeakAmps * p.PeakAmps
+	q := e / p.Targets[0] // worst case: all packets to the lowest rail
+	return q * p.SwitchMHz * 1e6 * 1e3
+}

@@ -1,0 +1,150 @@
+package vr
+
+import (
+	"math"
+	"testing"
+)
+
+func newSim(t *testing.T) *SIMOSim {
+	t.Helper()
+	s, err := NewSIMOSim(DefaultSIMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSIMOValidation(t *testing.T) {
+	bad := DefaultSIMO()
+	bad.InductorUH = 0
+	if _, err := NewSIMOSim(bad); err == nil {
+		t.Error("zero inductor accepted")
+	}
+	bad = DefaultSIMO()
+	bad.Efficiency = 1.5
+	if _, err := NewSIMOSim(bad); err == nil {
+		t.Error("efficiency > 1 accepted")
+	}
+	bad = DefaultSIMO()
+	bad.Targets[0] = 5
+	if _, err := NewSIMOSim(bad); err == nil {
+		t.Error("target above Vin accepted")
+	}
+}
+
+func TestSIMOCapacityExceedsLoad(t *testing.T) {
+	p := DefaultSIMO()
+	total := p.LoadsMA[0] + p.LoadsMA[1] + p.LoadsMA[2]
+	if cap := p.RegulationCapacityMA(); cap < total*1.2 {
+		t.Fatalf("capacity %.1f mA too close to load %.1f mA", cap, total)
+	}
+}
+
+func TestSIMOColdStart(t *testing.T) {
+	s := newSim(t)
+	us, ok := s.StartupTimeUS(0.03, 500)
+	if !ok {
+		t.Fatalf("rails never regulated; V = %v", s.V)
+	}
+	// Cold start completes on the tens-of-microseconds scale of Fig 5's
+	// axes (not ns — the ns transitions are the LDO, not the converter).
+	if us < 1 || us > 300 {
+		t.Fatalf("startup took %.1f us, expected O(10-100us)", us)
+	}
+}
+
+func TestSIMOSteadyStateRipple(t *testing.T) {
+	s := newSim(t)
+	if _, ok := s.StartupTimeUS(0.03, 500); !ok {
+		t.Fatal("no regulation")
+	}
+	// Observe 200 us of steady state.
+	min := [3]float64{9, 9, 9}
+	max := [3]float64{}
+	for _, smp := range s.Run(s.timeS*1e6 + 200) {
+		for i, v := range smp.Volts {
+			if v < min[i] {
+				min[i] = v
+			}
+			if v > max[i] {
+				max[i] = v
+			}
+		}
+	}
+	for i := range min {
+		ripple := max[i] - min[i]
+		if ripple > 0.05 {
+			t.Errorf("rail %d ripple %.3f V exceeds 50 mV", i, ripple)
+		}
+		if min[i] < s.P.Targets[i]-0.05 {
+			t.Errorf("rail %d sags to %.3f V (target %.2f)", i, min[i], s.P.Targets[i])
+		}
+	}
+}
+
+func TestSIMOAllRailsServed(t *testing.T) {
+	s := newSim(t)
+	s.Run(500)
+	share := s.ServiceShare()
+	for i, f := range share {
+		if f <= 0 {
+			t.Errorf("rail %d never serviced", i)
+		}
+	}
+	// The 1.2 V rail carries the largest default load and must get the
+	// largest service share.
+	if share[2] <= share[1] {
+		t.Errorf("service shares %v do not track loads %v", share, s.P.LoadsMA)
+	}
+}
+
+func TestSIMOPulseSkipping(t *testing.T) {
+	s := newSim(t)
+	s.Run(500)
+	skip := s.PulseSkipRate()
+	if skip <= 0 || skip >= 1 {
+		t.Fatalf("pulse-skip rate %.2f, expected headroom in (0,1)", skip)
+	}
+}
+
+func TestSIMORailsNeverExceedBand(t *testing.T) {
+	s := newSim(t)
+	for _, smp := range s.Run(300) {
+		for i, v := range smp.Volts {
+			if v > s.P.Targets[i]+s.P.Hysteresis+1e-9 {
+				t.Fatalf("rail %d overshot to %.3f V at %.1f us", i, v, smp.TimeUS)
+			}
+		}
+	}
+}
+
+func TestSIMOLoadStepRecovery(t *testing.T) {
+	s := newSim(t)
+	if _, ok := s.StartupTimeUS(0.03, 500); !ok {
+		t.Fatal("no regulation")
+	}
+	// Double every load (all routers wake at once) and require recovery.
+	for i := range s.P.LoadsMA {
+		s.P.LoadsMA[i] *= 2
+	}
+	if cap := s.P.RegulationCapacityMA(); cap < s.P.LoadsMA[0]+s.P.LoadsMA[1]+s.P.LoadsMA[2] {
+		t.Skip("stepped load exceeds converter capacity by design")
+	}
+	s.Run(s.timeS*1e6 + 100)
+	if !s.InRegulation(0.05) {
+		t.Fatalf("rails did not recover from a 2x load step: %v", s.V)
+	}
+}
+
+func TestSIMOHoldsThreeRailsSimultaneously(t *testing.T) {
+	// The architectural property DozzNoC relies on (§III-C): all three
+	// rails are simultaneously regulated, so a DVFS mode switch only
+	// re-MUXes the LDO input.
+	s := newSim(t)
+	s.Run(300)
+	for i, v := range s.V {
+		if math.Abs(v-s.P.Targets[i]) > 0.05 {
+			t.Fatalf("rail %d at %.3f V, target %.2f — not simultaneously held", i, v, s.P.Targets[i])
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package vr models the paper's SIMO/LDO voltage-regulator subsystem
+// (§III-C): a single-inductor multiple-output (SIMO) switching converter
+// supplies three time-multiplexed rails (0.9 V, 1.1 V, 1.2 V) that feed one
+// low-dropout linear regulator (LDO) per router. A MUX selects the LDO
+// input so that the dropout never exceeds 100 mV (Table I), which keeps LDO
+// power efficiency high while retaining nanosecond-range switching
+// (Table II). Grounding both LDO input and output power-gates the router.
+//
+// The package encodes Table I (dropout ranges), Table II (measured ns
+// switching latencies), Table III (cycle-domain costs for T-Switch,
+// T-Wakeup and T-Breakeven), the Fig 6 efficiency comparison, and a
+// first-order settling model that regenerates the Fig 5 waveforms.
+package vr
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+)
+
+// Rails are the three SIMO output voltages available as LDO inputs.
+var Rails = [3]float64{0.9, 1.1, 1.2}
+
+// Power-switch counts (§III-C): sharing one inductor across three
+// time-multiplexed rails needs five power switches versus six for a
+// conventional switching-regulator array — part of the design's area
+// advantage.
+const (
+	PowerSwitches         = 5
+	BaselinePowerSwitches = 6
+)
+
+// LDOInputFor returns the SIMO rail selected as LDO input for a desired
+// output voltage, per Table I: outputs 0.8-0.9 V draw from the 0.9 V rail,
+// 1.0-1.1 V from the 1.1 V rail, and 1.2 V from the 1.2 V rail.
+func LDOInputFor(vout float64) float64 {
+	switch {
+	case vout <= 0.9:
+		return 0.9
+	case vout <= 1.1:
+		return 1.1
+	default:
+		return 1.2
+	}
+}
+
+// Dropout returns the LDO voltage dropout (Vin - Vout) for a desired
+// output voltage; by construction it is within [0, 0.1] V for the five
+// DVFS points.
+func Dropout(vout float64) float64 { return LDOInputFor(vout) - vout }
+
+// DropoutRow is one row of Table I.
+type DropoutRow struct {
+	Vin       float64
+	VoutLo    float64
+	VoutHi    float64
+	DropoutLo float64
+	DropoutHi float64
+}
+
+// TableI returns the LDO dropout table exactly as printed in the paper.
+func TableI() []DropoutRow {
+	return []DropoutRow{
+		{Vin: 0.9, VoutLo: 0.8, VoutHi: 0.9, DropoutLo: 0, DropoutHi: 0.1},
+		{Vin: 1.1, VoutLo: 1.0, VoutHi: 1.1, DropoutLo: 0, DropoutHi: 0.1},
+		{Vin: 1.2, VoutLo: 1.2, VoutHi: 1.2, DropoutLo: 0, DropoutHi: 0},
+	}
+}
+
+// Level indexes the rows/columns of Table II: the power-gated state plus
+// the five active voltages in ascending order.
+type Level int
+
+const (
+	PG Level = iota // 0 V, power-gated
+	V08
+	V09
+	V10
+	V11
+	V12
+	numLevels
+)
+
+// LevelVolts returns the supply voltage of a level (0 for PG).
+func LevelVolts(l Level) float64 {
+	return [numLevels]float64{0, 0.8, 0.9, 1.0, 1.1, 1.2}[l]
+}
+
+// LevelOfMode maps an active power.Mode to its Table II level.
+func LevelOfMode(m power.Mode) Level {
+	if !m.IsActive() {
+		return PG
+	}
+	return V08 + Level(m.Index())
+}
+
+// String renders a level ("PG", "0.8V", ...).
+func (l Level) String() string {
+	if l == PG {
+		return "PG"
+	}
+	return fmt.Sprintf("%.1fV", LevelVolts(l))
+}
+
+// switchNS is Table II: the measured latency in nanoseconds to switch the
+// router supply between any two levels. Rows are the starting level,
+// columns the target. (The paper's "4.3s" entry at 1.1V->1.2V is an
+// evident typo for 4.3 ns.)
+var switchNS = [numLevels][numLevels]float64{
+	//            PG   0.8  0.9  1.0  1.1  1.2
+	/* PG  */ {0.0, 8.5, 8.7, 8.7, 8.7, 8.8},
+	/* 0.8 */ {8.5, 0.0, 4.2, 5.5, 6.2, 6.7},
+	/* 0.9 */ {8.7, 4.2, 0.0, 4.4, 5.5, 6.3},
+	/* 1.0 */ {8.7, 5.5, 4.4, 0.0, 4.3, 5.5},
+	/* 1.1 */ {8.7, 6.3, 5.4, 4.3, 0.0, 4.3},
+	/* 1.2 */ {8.8, 6.9, 6.3, 5.4, 4.1, 0.0},
+}
+
+// SwitchNS returns the Table II latency in nanoseconds to move the supply
+// from level a to level b.
+func SwitchNS(a, b Level) float64 { return switchNS[a][b] }
+
+// Worst-case latencies the paper applies uniformly in simulation (§III-C):
+// every wake from PG is billed the worst observed wake (8.8 ns) and every
+// active-to-active switch the worst observed switch (6.9 ns).
+const (
+	WorstWakeupNS = 8.8
+	WorstSwitchNS = 6.9
+)
+
+// WorstWakeupObserved returns the largest PG->active entry of Table II.
+func WorstWakeupObserved() float64 {
+	w := 0.0
+	for b := V08; b <= V12; b++ {
+		if switchNS[PG][b] > w {
+			w = switchNS[PG][b]
+		}
+		if switchNS[b][PG] > w {
+			w = switchNS[b][PG]
+		}
+	}
+	return w
+}
+
+// WorstSwitchObserved returns the largest active-to-active entry of
+// Table II.
+func WorstSwitchObserved() float64 {
+	w := 0.0
+	for a := V08; a <= V12; a++ {
+		for b := V08; b <= V12; b++ {
+			if switchNS[a][b] > w {
+				w = switchNS[a][b]
+			}
+		}
+	}
+	return w
+}
+
+// Costs is one row of Table III: the cycle-domain costs of mode m, counted
+// in cycles of m's own clock.
+type Costs struct {
+	Mode       power.Mode
+	Volts      float64
+	FreqMHz    int
+	TSwitch    int // cycles paused when switching into this mode
+	TWakeup    int // cycles in the wakeup state when waking into this mode
+	TBreakeven int // minimum off cycles for a net static-energy win
+}
+
+// tableIII is Table III verbatim.
+var tableIII = [power.NumActiveModes]Costs{
+	{Mode: power.M3, Volts: 0.8, FreqMHz: 1000, TSwitch: 7, TWakeup: 9, TBreakeven: 8},
+	{Mode: power.M4, Volts: 0.9, FreqMHz: 1500, TSwitch: 11, TWakeup: 12, TBreakeven: 9},
+	{Mode: power.M5, Volts: 1.0, FreqMHz: 1800, TSwitch: 13, TWakeup: 15, TBreakeven: 10},
+	{Mode: power.M6, Volts: 1.1, FreqMHz: 2000, TSwitch: 14, TWakeup: 16, TBreakeven: 11},
+	{Mode: power.M7, Volts: 1.2, FreqMHz: 2250, TSwitch: 16, TWakeup: 18, TBreakeven: 12},
+}
+
+// CostsFor returns the Table III row for an active mode.
+func CostsFor(m power.Mode) Costs { return tableIII[m.Index()] }
+
+// TableIII returns all Table III rows in mode order.
+func TableIII() []Costs {
+	out := make([]Costs, power.NumActiveModes)
+	copy(out, tableIII[:])
+	return out
+}
+
+// CyclesAt converts a latency in nanoseconds to whole cycles of a clock at
+// freqMHz, rounding up (a partial cycle still stalls the full cycle).
+func CyclesAt(ns float64, freqMHz int) int {
+	c := int(ns * float64(freqMHz) / 1000.0)
+	if float64(c)*1000.0/float64(freqMHz) < ns {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,211 @@
+package vr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/power"
+)
+
+func TestLDOInputSelection(t *testing.T) {
+	// Table I's MUX policy.
+	cases := map[float64]float64{0.8: 0.9, 0.9: 0.9, 1.0: 1.1, 1.1: 1.1, 1.2: 1.2}
+	for vout, vin := range cases {
+		if got := LDOInputFor(vout); got != vin {
+			t.Errorf("LDOInputFor(%g) = %g, want %g", vout, got, vin)
+		}
+	}
+}
+
+func TestDropoutWithin100mV(t *testing.T) {
+	// The SIMO MUX keeps the dropout within [0, 100 mV] at every DVFS
+	// point — the property that preserves LDO efficiency.
+	for _, v := range []float64{0.8, 0.9, 1.0, 1.1, 1.2} {
+		d := Dropout(v)
+		if d < 0 || d > 0.1+1e-12 {
+			t.Errorf("dropout at %gV = %g, want within [0, 0.1]", v, d)
+		}
+	}
+}
+
+func TestTableIRows(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 3 {
+		t.Fatalf("Table I has %d rows, want 3", len(rows))
+	}
+	if rows[0].Vin != 0.9 || rows[1].Vin != 1.1 || rows[2].Vin != 1.2 {
+		t.Error("Table I input rails wrong")
+	}
+	for _, r := range rows {
+		if r.DropoutHi > 0.1 {
+			t.Errorf("Vin %g: dropout up to %g exceeds 100 mV", r.Vin, r.DropoutHi)
+		}
+	}
+}
+
+func TestTableIIValues(t *testing.T) {
+	// Spot-check Table II entries against the paper.
+	cases := []struct {
+		a, b Level
+		ns   float64
+	}{
+		{PG, V08, 8.5},
+		{PG, V12, 8.8},
+		{V08, V09, 4.2},
+		{V12, V08, 6.9},
+		{V11, V12, 4.3}, // the paper's "4.3s" typo, read as ns
+		{V12, V11, 4.1},
+		{V10, V10, 0},
+	}
+	for _, c := range cases {
+		if got := SwitchNS(c.a, c.b); got != c.ns {
+			t.Errorf("SwitchNS(%v,%v) = %g, want %g", c.a, c.b, got, c.ns)
+		}
+	}
+}
+
+func TestTableIIDiagonalZero(t *testing.T) {
+	for l := PG; l <= V12; l++ {
+		if SwitchNS(l, l) != 0 {
+			t.Errorf("self-switch at %v costs %g ns", l, SwitchNS(l, l))
+		}
+	}
+}
+
+func TestWorstCases(t *testing.T) {
+	if got := WorstWakeupObserved(); got != WorstWakeupNS {
+		t.Errorf("worst wakeup observed %g, constant says %g", got, WorstWakeupNS)
+	}
+	if got := WorstSwitchObserved(); got != WorstSwitchNS {
+		t.Errorf("worst switch observed %g, constant says %g", got, WorstSwitchNS)
+	}
+}
+
+func TestLevelOfMode(t *testing.T) {
+	if LevelOfMode(power.M3) != V08 || LevelOfMode(power.M7) != V12 {
+		t.Error("mode-to-level mapping wrong")
+	}
+	if LevelOfMode(power.Inactive) != PG {
+		t.Error("inactive should map to PG")
+	}
+}
+
+func TestLevelVoltsAndString(t *testing.T) {
+	if LevelVolts(PG) != 0 || LevelVolts(V10) != 1.0 {
+		t.Error("level voltages wrong")
+	}
+	if PG.String() != "PG" || V08.String() != "0.8V" {
+		t.Errorf("level strings: %q, %q", PG, V08)
+	}
+}
+
+func TestTableIIIValues(t *testing.T) {
+	rows := TableIII()
+	wantSwitch := []int{7, 11, 13, 14, 16}
+	wantWake := []int{9, 12, 15, 16, 18}
+	wantBE := []int{8, 9, 10, 11, 12}
+	for i, r := range rows {
+		if r.TSwitch != wantSwitch[i] || r.TWakeup != wantWake[i] || r.TBreakeven != wantBE[i] {
+			t.Errorf("row %d = %+v", i, r)
+		}
+	}
+	if CostsFor(power.M5).TWakeup != 15 {
+		t.Error("CostsFor(M5) wrong")
+	}
+}
+
+func TestTableIIIConsistentWithWorstNS(t *testing.T) {
+	// Table III is supposed to be the worst-case ns latencies converted to
+	// cycles of each mode's clock; allow the paper's rounding slack.
+	for _, r := range TableIII() {
+		wake := CyclesAt(WorstWakeupNS, r.FreqMHz)
+		if d := wake - r.TWakeup; d < -1 || d > 3 {
+			t.Errorf("mode %v: %g ns at %d MHz = %d cycles, Table III says %d",
+				r.Mode, WorstWakeupNS, r.FreqMHz, wake, r.TWakeup)
+		}
+		sw := CyclesAt(WorstSwitchNS, r.FreqMHz)
+		if d := sw - r.TSwitch; d < -1 || d > 3 {
+			t.Errorf("mode %v: switch %d cycles vs Table III %d", r.Mode, sw, r.TSwitch)
+		}
+	}
+}
+
+func TestCyclesAt(t *testing.T) {
+	if got := CyclesAt(8.8, 1000); got != 9 {
+		t.Errorf("8.8 ns at 1 GHz = %d cycles, want 9", got)
+	}
+	if got := CyclesAt(1.0, 1000); got != 1 {
+		t.Errorf("1 ns at 1 GHz = %d, want 1", got)
+	}
+	if got := CyclesAt(0, 2250); got != 0 {
+		t.Errorf("0 ns = %d cycles", got)
+	}
+}
+
+func TestBreakevenMonotone(t *testing.T) {
+	// Higher modes leak more, so their breakeven must not decrease.
+	rows := TableIII()
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TBreakeven < rows[i-1].TBreakeven {
+			t.Error("T-Breakeven must be non-decreasing in mode")
+		}
+	}
+}
+
+func TestEfficiencyClaims(t *testing.T) {
+	s := Improvement()
+	// The three quantitative claims of §III-C.
+	if s.MinEfficiency < 0.87 {
+		t.Errorf("overall efficiency %.3f, paper claims > 87%%", s.MinEfficiency)
+	}
+	if s.AvgImprovement < 0.12 || s.AvgImprovement > 0.18 {
+		t.Errorf("avg improvement %.3f, paper claims ~15 points", s.AvgImprovement)
+	}
+	if s.MaxImprovement < 0.20 || s.MaxImprovement > 0.27 {
+		t.Errorf("max improvement %.3f, paper claims almost 25 points", s.MaxImprovement)
+	}
+	if s.MaxAtVolts != 0.9 {
+		t.Errorf("max improvement at %gV, paper says 0.9V", s.MaxAtVolts)
+	}
+}
+
+func TestEfficiencyVsBaseline(t *testing.T) {
+	for _, v := range []float64{0.8, 0.9, 1.0, 1.1} {
+		if Efficiency(v) <= BaselineEfficiency(v) {
+			t.Errorf("SIMO must beat the 1.2V-input LDO at %gV", v)
+		}
+	}
+	if math.Abs(Efficiency(1.2)-BaselineEfficiency(1.2)) > 1e-12 {
+		t.Error("designs coincide at 1.2V")
+	}
+}
+
+func TestEfficiencyCurve(t *testing.T) {
+	pts := EfficiencyCurve(0.1)
+	if len(pts) != 5 {
+		t.Fatalf("curve has %d points, want 5", len(pts))
+	}
+	if pts[0].Vout != 0.8 || math.Abs(pts[len(pts)-1].Vout-1.2) > 1e-9 {
+		t.Error("curve endpoints wrong")
+	}
+	pts = EfficiencyCurve(0) // default step
+	if len(pts) != 5 {
+		t.Fatalf("default step curve has %d points", len(pts))
+	}
+}
+
+func TestIntroLDOClaim(t *testing.T) {
+	// §II: a plain LDO from 1.1V rail to 0.8V drops efficiency to ~67%;
+	// scaled from 1.2V in our baseline: 0.8/1.2*0.98 = 65.3%.
+	if e := BaselineEfficiency(0.8); e < 0.60 || e > 0.70 {
+		t.Errorf("baseline LDO at 0.8V = %.3f, expected ~0.65", e)
+	}
+}
+
+func TestPowerSwitchReduction(t *testing.T) {
+	// §III-C: "Our SIMO design reduces the number of power switches from
+	// 6 to 5".
+	if PowerSwitches != 5 || BaselinePowerSwitches != 6 {
+		t.Fatalf("power switch counts %d/%d, paper says 5/6", PowerSwitches, BaselinePowerSwitches)
+	}
+}

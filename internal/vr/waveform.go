@@ -1,0 +1,90 @@
+package vr
+
+import "math"
+
+// Fig 5 waveform model. The LDO output settles toward its target with
+// first-order dynamics; the settling time constant is calibrated so the
+// output enters the +/-SettleBandVolts band exactly at the Table II latency
+// for the transition, reproducing the 8.5 ns wake (0 V -> 0.8 V) and the
+// 6.9 ns worst-case switch (0.8 V -> 1.2 V) shown in Fig 5.
+
+// SettleBandVolts is the band around the target voltage within which the
+// supply is considered settled (T-Wakeup is defined in §III-A as the
+// interval until the local level settles to the supply level).
+const SettleBandVolts = 0.01
+
+// Sample is one point of a transition waveform.
+type Sample struct {
+	TimeNS float64
+	Volts  float64
+}
+
+// SettleTimeConstant returns the first-order time constant (ns) that makes
+// a step of size deltaV settle into SettleBandVolts after settleNS.
+func SettleTimeConstant(deltaV, settleNS float64) float64 {
+	deltaV = math.Abs(deltaV)
+	if deltaV <= SettleBandVolts || settleNS <= 0 {
+		return 0
+	}
+	return settleNS / math.Log(deltaV/SettleBandVolts)
+}
+
+// Transition generates the LDO output waveform for a supply change from
+// v0 to v1 starting at startNS, sampled every stepNS until horizonNS.
+// Before startNS the output holds v0. The settling latency is taken from
+// Table II for the corresponding levels.
+func Transition(v0, v1, startNS, stepNS, horizonNS float64) []Sample {
+	if stepNS <= 0 {
+		stepNS = 0.1
+	}
+	lat := SwitchNS(nearestLevel(v0), nearestLevel(v1))
+	tau := SettleTimeConstant(v1-v0, lat)
+	var out []Sample
+	for t := 0.0; t <= horizonNS+1e-9; t += stepNS {
+		v := v0
+		if t >= startNS {
+			if tau == 0 {
+				v = v1
+			} else {
+				v = v1 + (v0-v1)*math.Exp(-(t-startNS)/tau)
+			}
+		}
+		out = append(out, Sample{TimeNS: t, Volts: v})
+	}
+	return out
+}
+
+// SettledAfter returns the time (ns, relative to the transition start) at
+// which the waveform from v0 to v1 enters the settle band, using the same
+// dynamics as Transition.
+func SettledAfter(v0, v1 float64) float64 {
+	lat := SwitchNS(nearestLevel(v0), nearestLevel(v1))
+	tau := SettleTimeConstant(v1-v0, lat)
+	if tau == 0 {
+		return 0
+	}
+	return tau * math.Log(math.Abs(v1-v0)/SettleBandVolts)
+}
+
+// nearestLevel maps an arbitrary voltage to the closest Table II level.
+func nearestLevel(v float64) Level {
+	best, bestD := PG, math.Abs(v-LevelVolts(PG))
+	for l := V08; l <= V12; l++ {
+		if d := math.Abs(v - LevelVolts(l)); d < bestD {
+			best, bestD = l, d
+		}
+	}
+	return best
+}
+
+// Fig5Wakeup returns the Fig 5(a) waveform: power-gating wake from 0 V to
+// 0.8 V with the switch starting at startNS.
+func Fig5Wakeup(startNS, stepNS, horizonNS float64) []Sample {
+	return Transition(0, 0.8, startNS, stepNS, horizonNS)
+}
+
+// Fig5Switch returns the Fig 5(b) waveform: a DVFS switch from 0.8 V to
+// 1.2 V with the switch starting at startNS.
+func Fig5Switch(startNS, stepNS, horizonNS float64) []Sample {
+	return Transition(0.8, 1.2, startNS, stepNS, horizonNS)
+}

@@ -1,0 +1,98 @@
+package vr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSettleTimeConstant(t *testing.T) {
+	tau := SettleTimeConstant(0.8, 8.5)
+	if tau <= 0 {
+		t.Fatal("tau must be positive for a real step")
+	}
+	// After the settle latency the residual must be within the band.
+	resid := 0.8 * math.Exp(-8.5/tau)
+	if resid > SettleBandVolts+1e-9 {
+		t.Fatalf("residual after settle = %g V, want <= %g", resid, SettleBandVolts)
+	}
+	if SettleTimeConstant(0.005, 8.5) != 0 {
+		t.Error("sub-band steps settle instantly")
+	}
+	if SettleTimeConstant(0.8, 0) != 0 {
+		t.Error("zero-latency steps settle instantly")
+	}
+}
+
+func TestWakeupWaveformShape(t *testing.T) {
+	s := Fig5Wakeup(10, 0.1, 40)
+	if len(s) == 0 {
+		t.Fatal("empty waveform")
+	}
+	// Before the switch the output holds 0V.
+	for _, p := range s {
+		if p.TimeNS < 10 && p.Volts != 0 {
+			t.Fatalf("pre-switch sample at %g ns = %g V", p.TimeNS, p.Volts)
+		}
+	}
+	// The waveform is monotone non-decreasing for a rising step.
+	for i := 1; i < len(s); i++ {
+		if s[i].Volts < s[i-1].Volts-1e-12 {
+			t.Fatalf("waveform decreases at %g ns", s[i].TimeNS)
+		}
+	}
+	// The final sample is settled at 0.8V.
+	last := s[len(s)-1]
+	if math.Abs(last.Volts-0.8) > SettleBandVolts {
+		t.Fatalf("final voltage %g, want ~0.8", last.Volts)
+	}
+}
+
+func TestSwitchWaveformSettlesAtTableIILatency(t *testing.T) {
+	// 0.8 -> 1.2 V is Table II's 6.9 ns worst case: the waveform must
+	// enter the band at that latency (within sampling resolution).
+	start := 5.0
+	s := Fig5Switch(start, 0.05, 30)
+	settled := -1.0
+	for _, p := range s {
+		if p.TimeNS >= start && math.Abs(p.Volts-1.2) <= SettleBandVolts {
+			settled = p.TimeNS - start
+			break
+		}
+	}
+	if settled < 0 {
+		t.Fatal("waveform never settled")
+	}
+	if math.Abs(settled-6.7) > 0.2 {
+		t.Fatalf("settled after %.2f ns, want ~6.7 (Table II's 0.8V->1.2V entry)", settled)
+	}
+}
+
+func TestSettledAfterMatchesTableII(t *testing.T) {
+	cases := []struct {
+		v0, v1 float64
+		want   float64
+	}{
+		{0, 0.8, 8.5},
+		{0.8, 1.2, 6.7},
+		{1.2, 0.8, 6.9}, // the reverse direction is the 6.9 ns worst case
+	}
+	for _, c := range cases {
+		got := SettledAfter(c.v0, c.v1)
+		if math.Abs(got-c.want) > 0.05 {
+			t.Errorf("SettledAfter(%g,%g) = %.2f ns, want %.2f", c.v0, c.v1, got, c.want)
+		}
+	}
+}
+
+func TestTransitionDefaults(t *testing.T) {
+	s := Transition(0, 0.8, 0, 0, 5) // zero step uses the default
+	if len(s) == 0 {
+		t.Fatal("default-step transition empty")
+	}
+}
+
+func TestNearestLevelMapping(t *testing.T) {
+	if nearestLevel(0.0) != PG || nearestLevel(0.82) != V08 || nearestLevel(1.19) != V12 {
+		t.Error("nearestLevel mapping wrong")
+	}
+}
