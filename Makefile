@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test vet race bench check golden-update
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race target is the concurrency gate: it exercises the Suite's
+# parallel entry points (CompareParallel, HarvestParallel,
+# TrainAllParallel) under the race detector.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# CI entry point: vet + full tests + race detector.
+check: vet test race
+
+# Regenerate the cmd/experiments golden snapshots after an intentional
+# output change (review the diff before committing).
+golden-update:
+	$(GO) test ./cmd/experiments -run TestGolden -update

@@ -192,6 +192,36 @@ func BenchmarkEngineDozzNoC(b *testing.B) {
 	}
 }
 
+// BenchmarkFastForwardLowLoad measures the idle fast-forward path where
+// it matters: a sparse (low-load) trace on an 8x8 mesh under the gating
+// DozzNoC model leaves the network quiescent most of the time, so the
+// closed-form skip should beat tick-by-tick execution by a wide margin
+// (and the flit pool should cut allocations). The tick-by-tick
+// sub-benchmark is the same configuration with NoFastForward.
+func BenchmarkFastForwardLowLoad(b *testing.B) {
+	topo := topology.NewMesh(8, 8)
+	tr := traffic.Synthetic(topo, traffic.UniformRandom, 0.0001, 60_000, 1)
+	run := func(b *testing.B, noFF bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(sim.Config{
+				Topo:          topo,
+				Spec:          policy.DozzNoC(policy.ReactiveSelector{}),
+				Trace:         tr,
+				NoFastForward: noFF,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !noFF && res.FastForwardedTicks == 0 {
+				b.Fatal("fast-forward never engaged")
+			}
+		}
+	}
+	b.Run("fastforward", func(b *testing.B) { run(b, false) })
+	b.Run("tickbytick", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkRidgeFit measures the closed-form ridge solve on a dataset the
 // size of one full training corpus row count.
 func BenchmarkRidgeFit(b *testing.B) {

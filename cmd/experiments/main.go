@@ -20,26 +20,58 @@ import (
 	"repro/internal/topology"
 )
 
+// runConfig mirrors the command-line flags so the whole command is
+// callable in-process (the golden-output regression test drives it with
+// a reduced configuration).
+type runConfig struct {
+	only     string
+	horizon  int64
+	compress int64
+	seed     int64
+	cmesh    bool
+	csvDir   string
+	parallel bool
+	meshW    int // mesh dimensions (default 8x8)
+	meshH    int
+
+	// configureSuite, when non-nil, is applied to every suite the run
+	// builds before any simulation (tests install passthrough ML models
+	// here to skip training).
+	configureSuite func(*core.Suite)
+}
+
 func main() {
-	var (
-		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		horizon  = flag.Int64("horizon", 120_000, "trace generation window in base ticks")
-		compress = flag.Int64("compress", exp.DefaultCompression, "compression factor for compressed-trace experiments")
-		seed     = flag.Int64("seed", 1, "trace generator seed")
-		cmesh    = flag.Bool("cmesh", true, "include the 4x4 cmesh headline row")
-		csvDir   = flag.String("csv", "", "also write machine-readable CSVs for fig7/fig8/fig9/headline into this directory")
-	)
+	var rc runConfig
+	flag.StringVar(&rc.only, "only", "", "comma-separated experiment ids (default: all)")
+	flag.Int64Var(&rc.horizon, "horizon", 120_000, "trace generation window in base ticks")
+	flag.Int64Var(&rc.compress, "compress", exp.DefaultCompression, "compression factor for compressed-trace experiments")
+	flag.Int64Var(&rc.seed, "seed", 1, "trace generator seed")
+	flag.BoolVar(&rc.cmesh, "cmesh", true, "include the 4x4 cmesh headline row")
+	flag.StringVar(&rc.csvDir, "csv", "", "also write machine-readable CSVs for fig7/fig8/fig9/headline into this directory")
+	flag.BoolVar(&rc.parallel, "parallel", false, "run independent simulations on a worker pool (identical results, less wall-clock)")
 	flag.Parse()
 
+	if err := run(os.Stdout, os.Stderr, rc); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, errOut io.Writer, rc runConfig) error {
+	if rc.meshW == 0 {
+		rc.meshW = 8
+	}
+	if rc.meshH == 0 {
+		rc.meshH = 8
+	}
 	want := map[string]bool{}
-	for _, id := range strings.Split(*only, ",") {
+	for _, id := range strings.Split(rc.only, ",") {
 		if id = strings.TrimSpace(id); id != "" {
 			want[id] = true
 		}
 	}
 	sel := func(id string) bool { return len(want) == 0 || want[id] }
 
-	out := os.Stdout
 	section := func(id string) {
 		fmt.Fprintf(out, "\n==== %s ====\n", id)
 	}
@@ -81,86 +113,103 @@ func main() {
 		sel("epochs") || sel("tidle") || sel("punch") || sel("featcount") ||
 		sel("feat41") || sel("closedloop") || sel("globaldvfs")
 	if !needSim {
-		return
+		return nil
 	}
 
-	opts := core.Options{Horizon: *horizon, Seed: *seed}
-	suite := core.NewSuite(topology.NewMesh(8, 8), opts)
-	if sel("fig7") || sel("fig8") || sel("headline") {
-		start := time.Now()
-		fmt.Fprintln(os.Stderr, "training ML models on the 8x8 mesh...")
-		if err := suite.TrainAllParallel(); err != nil {
-			fatal(err)
+	opts := core.Options{Horizon: rc.horizon, Seed: rc.seed, Parallel: rc.parallel}
+	newSuite := func(topo topology.Topology, o core.Options) *core.Suite {
+		s := core.NewSuite(topo, o)
+		if rc.configureSuite != nil {
+			rc.configureSuite(s)
 		}
-		fmt.Fprintf(os.Stderr, "training done in %v\n", time.Since(start).Round(time.Millisecond))
+		return s
+	}
+	suite := newSuite(topology.NewMesh(rc.meshW, rc.meshH), opts)
+	if sel("fig7") || sel("fig8") || sel("headline") {
+		if !trained(suite) {
+			start := time.Now()
+			fmt.Fprintf(errOut, "training ML models on the %dx%d mesh...\n", rc.meshW, rc.meshH)
+			if err := suite.TrainAllParallel(); err != nil {
+				return err
+			}
+			fmt.Fprintf(errOut, "training done in %v\n", time.Since(start).Round(time.Millisecond))
+		}
 	}
 
 	if sel("fig7") {
 		section("fig7")
 		r, err := exp.Fig7(suite)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		r.Write(out)
-		writeCSVFile(*csvDir, "fig7.csv", r.WriteCSV)
+		if err := writeCSVFile(errOut, rc.csvDir, "fig7.csv", r.WriteCSV); err != nil {
+			return err
+		}
 	}
 	if sel("fig8") {
 		section("fig8")
-		r, err := exp.Fig8(suite, *compress)
+		r, err := exp.Fig8(suite, rc.compress)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		r.Write(out)
-		writeCSVFile(*csvDir, "fig8.csv", r.WriteCSV)
+		if err := writeCSVFile(errOut, rc.csvDir, "fig8.csv", r.WriteCSV); err != nil {
+			return err
+		}
 	}
 	if sel("fig9") {
 		section("fig9")
 		r, err := exp.Fig9(suite)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		r.Write(out)
-		writeCSVFile(*csvDir, "fig9.csv", r.WriteCSV)
+		if err := writeCSVFile(errOut, rc.csvDir, "fig9.csv", r.WriteCSV); err != nil {
+			return err
+		}
 	}
 	if sel("headline") {
 		section("headline")
 		var cm *core.Suite
-		if *cmesh {
-			cm = core.NewSuite(topology.NewCMesh(4, 4), opts)
+		if rc.cmesh {
+			cm = newSuite(topology.NewCMesh(4, 4), opts)
 		}
-		r, err := exp.Headline(suite, *compress, cm)
+		r, err := exp.Headline(suite, rc.compress, cm)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		r.Write(out)
-		writeCSVFile(*csvDir, "headline.csv", r.WriteCSV)
+		if err := writeCSVFile(errOut, rc.csvDir, "headline.csv", r.WriteCSV); err != nil {
+			return err
+		}
 	}
 	if sel("epochs") {
 		section("epochs")
 		factory := func(ep int64) *core.Suite {
 			o := opts
 			o.EpochTicks = ep
-			return core.NewSuite(topology.NewMesh(8, 8), o)
+			return newSuite(topology.NewMesh(rc.meshW, rc.meshH), o)
 		}
-		r, err := exp.RunEpochSweep(factory, "fft", *compress, []int64{100, 250, 500, 1000})
+		r, err := exp.RunEpochSweep(factory, "fft", rc.compress, []int64{100, 250, 500, 1000})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		r.Write(out)
 	}
 	if sel("tidle") {
 		section("tidle")
-		r, err := exp.TIdleSweep(topology.NewMesh(8, 8), "fft", *horizon, []int{2, 4, 8, 16, 32})
+		r, err := exp.TIdleSweep(topology.NewMesh(rc.meshW, rc.meshH), "fft", rc.horizon, []int{2, 4, 8, 16, 32})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		r.Write(out)
 	}
 	if sel("punch") {
 		section("punch")
-		r, err := exp.PunchSweep(topology.NewMesh(8, 8), "fft", *horizon, []int{0, 1, 2, 4, -1})
+		r, err := exp.PunchSweep(topology.NewMesh(rc.meshW, rc.meshH), "fft", rc.horizon, []int{0, 1, 2, 4, -1})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		r.Write(out)
 	}
@@ -168,7 +217,7 @@ func main() {
 		section("featcount")
 		r, err := exp.FeatureCountAblation(suite)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		r.Write(out)
 	}
@@ -176,57 +225,66 @@ func main() {
 		section("feat41")
 		r, err := exp.FeatureSet41(suite)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		r.Write(out)
 	}
 	if sel("globaldvfs") {
 		section("globaldvfs")
-		r, err := exp.GlobalDVFS(topology.NewMesh(8, 8), *horizon, nil)
+		r, err := exp.GlobalDVFS(topology.NewMesh(rc.meshW, rc.meshH), rc.horizon, nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		r.Write(out)
 	}
 	if sel("closedloop") {
 		section("closedloop")
-		topo := topology.NewMesh(8, 8)
+		topo := topology.NewMesh(rc.meshW, rc.meshH)
 		r, err := exp.ClosedLoop(topo, mcsim.DefaultSystem(topo))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		r.Write(out)
 		sw, err := exp.ClosedLoopSweep(topo, nil, 100_000)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		sw.Write(out)
 	}
+	return nil
+}
+
+// trained reports whether every ML kind already has an installed model
+// (e.g. injected by a test), so the run can skip training.
+func trained(s *core.Suite) bool {
+	for _, k := range core.MLKinds {
+		if s.TrainedModel(k) == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // writeCSVFile writes one CSV export when -csv is set.
-func writeCSVFile(dir, name string, write func(io.Writer) error) {
+func writeCSVFile(errOut io.Writer, dir, name string, write func(io.Writer) error) error {
 	if dir == "" {
-		return
+		return nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		fatal(err)
+		return err
 	}
 	path := filepath.Join(dir, name)
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := write(f); err != nil {
-		fatal(err)
+		f.Close()
+		return err
 	}
 	if err := f.Close(); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Fprintln(os.Stderr, "wrote", path)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	fmt.Fprintln(errOut, "wrote", path)
+	return nil
 }

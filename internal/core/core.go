@@ -81,6 +81,12 @@ type Options struct {
 	Horizon    int64 // trace generation window in ticks (default 120000)
 	Seed       int64 // trace generator seed (default 1)
 	Lambdas    []float64
+
+	// Parallel routes Compare and TrainAll through the worker-pool entry
+	// points (CompareParallel, TrainAllParallel). Each simulation is still
+	// single-threaded and deterministic, so results are identical to the
+	// sequential paths; only wall-clock changes.
+	Parallel bool
 }
 
 func (o Options) withDefaults() Options {
@@ -310,8 +316,16 @@ func (s *Suite) Train(kind ModelKind) (*ml.TrainReport, error) {
 	return rep, nil
 }
 
-// TrainAll trains the three ML models.
+// TrainAll trains the three ML models. With Options.Parallel it harvests
+// the underlying datasets concurrently first (TrainAllParallel).
 func (s *Suite) TrainAll() error {
+	if s.Opts.Parallel {
+		return s.TrainAllParallel()
+	}
+	return s.trainAllSequential()
+}
+
+func (s *Suite) trainAllSequential() error {
 	for _, k := range MLKinds {
 		if _, err := s.Train(k); err != nil {
 			return err
@@ -375,8 +389,12 @@ type Comparison struct {
 }
 
 // Compare runs all five models over a benchmark at a compression factor.
-// ML models must be trained first.
+// ML models must be trained first. With Options.Parallel the five runs
+// execute concurrently (CompareParallel) with identical results.
 func (s *Suite) Compare(bench string, factor int64) (*Comparison, error) {
+	if s.Opts.Parallel {
+		return s.CompareParallel(bench, factor)
+	}
 	c := &Comparison{Bench: bench, Factor: factor, Results: make(map[ModelKind]*sim.Result)}
 	for _, k := range AllKinds {
 		res, err := s.RunBenchmark(k, bench, factor)
@@ -496,7 +514,7 @@ func (s *Suite) TrainAllParallel() error {
 	if err := s.HarvestParallel(MLKinds, names); err != nil {
 		return err
 	}
-	return s.TrainAll()
+	return s.trainAllSequential()
 }
 
 // CompareParallel runs the five models concurrently over one workload.

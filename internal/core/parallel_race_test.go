@@ -1,0 +1,92 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/topology"
+)
+
+// TestParallelEntryPointsConcurrently exercises CompareParallel,
+// HarvestParallel and TrainAllParallel at the same time on one shared
+// suite, so `go test -race` patrols the cache locking and the worker
+// pools. Passthrough models are installed up front so CompareParallel
+// can run while the harvest is still populating the dataset cache.
+func TestParallelEntryPointsConcurrently(t *testing.T) {
+	s := NewSuite(topology.NewMesh(4, 4), Options{Horizon: 4000, Seed: 3})
+	for _, k := range MLKinds {
+		s.SetTrainedModel(k, &ml.Ridge{Weights: []float64{0, 0, 0, 0, 1}})
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	var mu sync.Mutex
+	comparisons := make(map[string]*Comparison)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := s.HarvestParallel(MLKinds, []string{"fft", "blackscholes"}); err != nil {
+			errs <- err
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// TrainAllParallel re-harvests every train/validation dataset and
+		// then overwrites the passthrough models under the suite lock.
+		if err := s.TrainAllParallel(); err != nil {
+			errs <- err
+		}
+	}()
+	for _, bench := range []string{"fft", "blackscholes"} {
+		wg.Add(1)
+		go func(bench string) {
+			defer wg.Done()
+			c, err := s.CompareParallel(bench, 1)
+			if err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			comparisons[bench] = c
+			mu.Unlock()
+		}(bench)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for bench, c := range comparisons {
+		if len(c.Results) != len(AllKinds) {
+			t.Errorf("%s: comparison has %d results, want %d", bench, len(c.Results), len(AllKinds))
+		}
+	}
+}
+
+// TestParallelOptionMatchesSequential pins that Options.Parallel is
+// purely a scheduling choice: Compare on a parallel suite produces
+// deeply equal results to a sequential one.
+func TestParallelOptionMatchesSequential(t *testing.T) {
+	build := func(parallel bool) *Suite {
+		s := NewSuite(topology.NewMesh(4, 4), Options{Horizon: 4000, Seed: 3, Parallel: parallel})
+		for _, k := range MLKinds {
+			s.SetTrainedModel(k, &ml.Ridge{Weights: []float64{0, 0, 0, 0, 1}})
+		}
+		return s
+	}
+	seq, err := build(false).Compare("fft", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := build(true).Compare("fft", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel comparison differs from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

@@ -3,6 +3,8 @@ package exp
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/features"
@@ -104,22 +106,73 @@ func Fig7(s *core.Suite) (*Fig7Result, error) {
 	if err := requireTrained(s); err != nil {
 		return nil, err
 	}
-	out := &Fig7Result{Models: make(map[core.ModelKind][]ModeDist)}
-	for _, kind := range core.MLKinds {
-		for _, bench := range TestBenchNames() {
-			res, err := s.RunBenchmark(kind, bench, 1)
-			if err != nil {
+	benches := TestBenchNames()
+	type job struct{ ki, bi int }
+	var jobs []job
+	for ki := range core.MLKinds {
+		for bi := range benches {
+			jobs = append(jobs, job{ki, bi})
+		}
+	}
+	// dists[ki][bi] keeps the output order fixed regardless of worker
+	// scheduling; each (kind, bench) run is an independent simulation.
+	dists := make([][]ModeDist, len(core.MLKinds))
+	for ki := range dists {
+		dists[ki] = make([]ModeDist, len(benches))
+	}
+	runOne := func(j job) error {
+		res, err := s.RunBenchmark(core.MLKinds[j.ki], benches[j.bi], 1)
+		if err != nil {
+			return err
+		}
+		d := ModeDist{Bench: benches[j.bi]}
+		total := float64(res.Policy.EpochDecisions)
+		if total > 0 {
+			for i := range d.Share {
+				d.Share[i] = float64(res.Policy.ModeDecisions[i]) / total
+			}
+		}
+		dists[j.ki][j.bi] = d
+		return nil
+	}
+	if s.Opts.Parallel {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		ch := make(chan job)
+		errs := make(chan error, len(jobs))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range ch {
+					if err := runOne(j); err != nil {
+						errs <- err
+					}
+				}
+			}()
+		}
+		for _, j := range jobs {
+			ch <- j
+		}
+		close(ch)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return nil, err
+		}
+	} else {
+		for _, j := range jobs {
+			if err := runOne(j); err != nil {
 				return nil, err
 			}
-			d := ModeDist{Bench: bench}
-			total := float64(res.Policy.EpochDecisions)
-			if total > 0 {
-				for i := range d.Share {
-					d.Share[i] = float64(res.Policy.ModeDecisions[i]) / total
-				}
-			}
-			out.Models[kind] = append(out.Models[kind], d)
 		}
+	}
+	out := &Fig7Result{Models: make(map[core.ModelKind][]ModeDist)}
+	for ki, kind := range core.MLKinds {
+		out.Models[kind] = dists[ki]
 	}
 	return out, nil
 }

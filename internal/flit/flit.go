@@ -57,6 +57,11 @@ type Packet struct {
 	InjectAt int64 // base tick the packet entered the source queue
 	Injected int64 // base tick the head flit entered the network (-1 until then)
 	Ejected  int64 // base tick the tail flit was delivered (-1 until then)
+
+	// pooled marks packets owned by a Pool; Pool.PutPacket ignores
+	// everything else, so externally created packets (workloads, tests)
+	// are never recycled out from under their creators.
+	pooled bool
 }
 
 // New returns a packet of the given kind with Size derived from the kind
@@ -102,6 +107,9 @@ type Flit struct {
 	// the flit) at which the flit has cleared the router pipeline and may
 	// traverse the switch; set on acceptance.
 	ReadyCycle int64
+
+	// pooled marks flits owned by a Pool (see Packet.pooled).
+	pooled bool
 }
 
 // Flits serializes a packet into its flit sequence. OutPort/NextRouter are

@@ -1,0 +1,122 @@
+package flit
+
+// Pool is a free-list recycler for packets, flits, and the per-packet
+// flit slices used during injection. The simulation hot loop creates one
+// Packet plus Size Flits (plus a slice header) per trace entry and drops
+// them all at delivery; on long runs that allocation churn dominates the
+// garbage collector's work. A Pool caps it at the peak in-flight
+// population.
+//
+// Only objects obtained from the Pool are ever recycled: Get* marks its
+// results and Put* ignores anything unmarked, so packets built with New
+// (closed-loop workloads, tests) keep their identity for as long as their
+// creator holds them. A Pool is not safe for concurrent use; each
+// simulation owns its own.
+type Pool struct {
+	packets []*Packet
+	flits   []*Flit
+	// slices holds recycled flit-slice backing arrays keyed by length
+	// (packet sizes are small and few: 1-flit requests, 5-flit responses).
+	slices map[int][][]*Flit
+}
+
+// GetPacket returns a reset packet, reusing a recycled one when possible.
+// The result is identical to New(0, src, dst, kind, injectAt) except that
+// it is marked for recycling by PutPacket.
+func (pl *Pool) GetPacket(src, dst int, kind Kind, injectAt int64) *Packet {
+	var p *Packet
+	if n := len(pl.packets); n > 0 {
+		p = pl.packets[n-1]
+		pl.packets[n-1] = nil
+		pl.packets = pl.packets[:n-1]
+	} else {
+		p = &Packet{}
+	}
+	*p = Packet{
+		SrcCore:  src,
+		DstCore:  dst,
+		Kind:     kind,
+		Size:     kind.Flits(),
+		InjectAt: injectAt,
+		Injected: -1,
+		Ejected:  -1,
+		pooled:   true,
+	}
+	return p
+}
+
+// PutPacket returns a pool-owned packet to the free list. Packets not
+// created by GetPacket (and double puts) are ignored.
+func (pl *Pool) PutPacket(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	p.pooled = false
+	pl.packets = append(pl.packets, p)
+}
+
+// GetFlits serializes p into its flit sequence like Flits, drawing both
+// the flits and the slice from the free lists.
+func (pl *Pool) GetFlits(p *Packet) []*Flit {
+	fs := pl.getSlice(p.Size)
+	for i := range fs {
+		f := pl.getFlit()
+		*f = Flit{
+			Pkt:    p,
+			Seq:    i,
+			Head:   i == 0,
+			Tail:   i == p.Size-1,
+			pooled: true,
+		}
+		fs[i] = f
+	}
+	return fs
+}
+
+// PutFlit returns a pool-owned flit to the free list; the caller must
+// hold the only live reference. Flits not created by GetFlits (and
+// double puts) are ignored.
+func (pl *Pool) PutFlit(f *Flit) {
+	if f == nil || !f.pooled {
+		return
+	}
+	f.pooled = false
+	f.Pkt = nil
+	pl.flits = append(pl.flits, f)
+}
+
+// PutSlice recycles the backing array of a flit slice handed out by
+// GetFlits. The flits it referenced are NOT recycled — they are typically
+// still buffered in the network — so the entries are cleared first.
+func (pl *Pool) PutSlice(fs []*Flit) {
+	if fs == nil {
+		return
+	}
+	for i := range fs {
+		fs[i] = nil
+	}
+	if pl.slices == nil {
+		pl.slices = make(map[int][][]*Flit)
+	}
+	pl.slices[len(fs)] = append(pl.slices[len(fs)], fs)
+}
+
+func (pl *Pool) getFlit() *Flit {
+	if n := len(pl.flits); n > 0 {
+		f := pl.flits[n-1]
+		pl.flits[n-1] = nil
+		pl.flits = pl.flits[:n-1]
+		return f
+	}
+	return &Flit{}
+}
+
+func (pl *Pool) getSlice(size int) []*Flit {
+	if ss := pl.slices[size]; len(ss) > 0 {
+		fs := ss[len(ss)-1]
+		ss[len(ss)-1] = nil
+		pl.slices[size] = ss[:len(ss)-1]
+		return fs
+	}
+	return make([]*Flit, size)
+}

@@ -71,6 +71,11 @@ type Network struct {
 	inj     []injState
 	secured []int // securing count per router
 
+	// Aggregates kept alongside the per-router/per-core state so the
+	// engine can test quiescence in O(1) every tick.
+	queuedPackets int // packets waiting or mid-injection across all cores
+	securedTotal  int // sum of securing claims across all routers
+
 	// cumulative per-core request counters (feature inputs)
 	coreSentReq []int64
 	coreRecvReq []int64
@@ -79,6 +84,10 @@ type Network struct {
 	packetsDelivered int64
 	flitsInjected    int64
 	packetsInjected  int64
+
+	// pool recycles the packets and flits of trace-driven traffic (see
+	// AcquirePacket); externally created packets pass through untouched.
+	pool flit.Pool
 
 	now int64 // current base tick, set by the engine each tick
 }
@@ -154,6 +163,15 @@ func (n *Network) land(dst, inPort, vc int, f *flit.Flit) {
 	}
 }
 
+// AcquirePacket builds a packet from the network's free-list pool. The
+// packet (and the flits it is later serialized into) is recycled
+// automatically once its tail flit is delivered, so callers must not
+// retain it past the delivery callback. Packets built with flit.New are
+// still accepted by Inject and are never recycled.
+func (n *Network) AcquirePacket(src, dst int, kind flit.Kind, injectAt int64) *flit.Packet {
+	return n.pool.GetPacket(src, dst, kind, injectAt)
+}
+
 // Inject queues a packet at its source core. The source router becomes
 // secured (and is punched awake if gated) until the packet's tail flit has
 // entered the network.
@@ -163,6 +181,7 @@ func (n *Network) Inject(p *flit.Packet) {
 	}
 	st := &n.inj[p.SrcCore]
 	st.queue = append(st.queue, p)
+	n.queuedPackets++
 	r := n.Topo.RouterOf(p.SrcCore)
 	n.secure(r)
 }
@@ -188,17 +207,21 @@ func (n *Network) TotalQueued() int {
 }
 
 // InFlight reports whether any flit is buffered anywhere, riding a link,
-// or queued for injection (used to detect drain completion).
+// or queued for injection (used to detect drain completion). Flits only
+// leave the network by ejection, so the injected/delivered flit counters
+// differ exactly while any flit is buffered or on a wire.
 func (n *Network) InFlight() bool {
-	if len(n.wire) > 0 {
-		return true
-	}
-	for _, r := range n.Routers {
-		if !r.BuffersEmpty() {
-			return true
-		}
-	}
-	return n.TotalQueued() > 0
+	return len(n.wire) > 0 || n.flitsInjected != n.flitsDelivered || n.queuedPackets > 0
+}
+
+// Quiescent reports whether nothing is in motion or pending anywhere in
+// the fabric: no flit buffered or riding a link, no packet queued or
+// mid-injection at any core, and no securing claim held on any router.
+// While this holds (and no new injection arrives), no router can receive
+// a wake punch and no flit can move, so the engine may fast-forward time.
+func (n *Network) Quiescent() bool {
+	return len(n.wire) == 0 && n.flitsInjected == n.flitsDelivered &&
+		n.queuedPackets == 0 && n.securedTotal == 0
 }
 
 // Secured reports whether a router currently holds securing claims.
@@ -206,11 +229,13 @@ func (n *Network) Secured(routerID int) bool { return n.secured[routerID] > 0 }
 
 func (n *Network) secure(routerID int) {
 	n.secured[routerID]++
+	n.securedTotal++
 	n.pv.WakeRequest(routerID)
 }
 
 func (n *Network) unsecure(routerID int) {
 	n.secured[routerID]--
+	n.securedTotal--
 	if n.secured[routerID] < 0 {
 		panic(fmt.Sprintf("network: securing underflow on router %d", routerID))
 	}
@@ -261,7 +286,7 @@ func (n *Network) injectCore(r *router.Router, core, localPort int) {
 		if len(st.queue) == 0 {
 			st.queue = nil
 		}
-		st.flits = flit.Flits(p)
+		st.flits = n.pool.GetFlits(p)
 		st.nextSeq = 0
 		st.vc = vc
 		p.Injected = n.now
@@ -283,8 +308,10 @@ func (n *Network) injectCore(r *router.Router, core, localPort int) {
 	if st.nextSeq == len(st.flits) {
 		// Tail has entered the network: release the source router's
 		// securing claim for this packet.
+		n.pool.PutSlice(st.flits)
 		st.flits = nil
 		st.vc = -1
+		n.queuedPackets--
 		n.unsecure(r.ID)
 	}
 }
@@ -321,13 +348,17 @@ func (n *Network) ForwardFlit(r *router.Router, outPort, outVC int, f *flit.Flit
 }
 
 // EjectFlit consumes a flit at a local port; tails complete the packet.
+// Ejection is the end of a flit's life, so pool-owned flits (and, after
+// the sink callback, their packet) are recycled here.
 func (n *Network) EjectFlit(r *router.Router, localPort int, f *flit.Flit) {
 	n.flitsDelivered++
 	if !f.Tail {
+		n.pool.PutFlit(f)
 		return
 	}
 	core := n.Topo.CoreAt(r.ID, localPort)
 	p := f.Pkt
+	n.pool.PutFlit(f)
 	p.Ejected = n.now
 	n.packetsDelivered++
 	if p.Kind == flit.Request {
@@ -336,6 +367,7 @@ func (n *Network) EjectFlit(r *router.Router, localPort int, f *flit.Flit) {
 	if n.sink != nil {
 		n.sink.PacketDelivered(p, core, n.now)
 	}
+	n.pool.PutPacket(p)
 }
 
 // CreditFreed returns a credit to the upstream router; injection ports

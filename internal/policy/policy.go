@@ -357,6 +357,70 @@ func (c *Controller) Advance(routerID int) bool {
 // SetNow updates the controller clock; the engine calls it once per tick.
 func (c *Controller) SetNow(now timing.Tick) { c.now = now }
 
+// NoEvent is TicksToNextEvent's result when a router has no pending
+// autonomous transition (it will sit in its current state until external
+// input arrives).
+const NoEvent = int64(1<<63 - 1)
+
+// TicksToNextEvent returns the relative base tick offset at which the
+// router's next autonomous state transition fires, assuming the network
+// stays quiescent (no wake punches, no flits): 0 means "during the
+// current tick", 1 "during the next", and so on. Covered transitions are
+// wakeup completion, voltage-switch completion, and idle gating. The
+// engine's fast-forward path may batch-process all ticks strictly before
+// the returned offset; the transition tick itself must be stepped
+// normally.
+func (c *Controller) TicksToNextEvent(routerID int) int64 {
+	pm := &c.pm[routerID]
+	switch pm.state {
+	case Inactive:
+		// Only an external wake punch leaves Inactive.
+		return NoEvent
+	case Wakeup:
+		return pm.domain.TicksUntilCycle(pm.wakeLeft) - 1
+	default:
+		if pm.switchLeft > 0 {
+			return pm.domain.TicksUntilCycle(pm.switchLeft) - 1
+		}
+		if !c.spec.PowerGating {
+			return NoEvent
+		}
+		return pm.domain.TicksUntilCycle(c.spec.TIdle-pm.idleCycles) - 1
+	}
+}
+
+// FastForward advances the router's state machine by delta base ticks in
+// one step — the exact closed form of delta Advance calls on a quiescent
+// network. The caller must bound delta so that no transition fires inside
+// the window (delta <= TicksToNextEvent for every router). It returns how
+// many local router cycles would have run (Active routers outside a
+// switch pause), so the engine can advance the router's cycle counter and
+// replicate the per-cycle PostCycle idle accounting; 0 for all other
+// states.
+func (c *Controller) FastForward(routerID int, delta int64) int64 {
+	pm := &c.pm[routerID]
+	switch pm.state {
+	case Inactive:
+		// Advance never ticks the domain of a gated router.
+		return 0
+	case Wakeup:
+		pm.wakeLeft -= int(pm.domain.AdvanceBy(delta))
+		return 0
+	default:
+		fires := pm.domain.AdvanceBy(delta)
+		if pm.switchLeft > 0 {
+			pm.switchLeft -= int(fires)
+			return 0
+		}
+		// PostCycle on an empty, unsecured router counts one idle cycle
+		// per fired local cycle.
+		if c.spec.PowerGating {
+			pm.idleCycles += int(fires)
+		}
+		return fires
+	}
+}
+
 // PostCycle updates idleness after a router's network cycle and gates the
 // router once it has been idle T-Idle consecutive cycles (only when the
 // model power-gates). A router is idle when its buffers are empty and it

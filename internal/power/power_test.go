@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/timing"
 )
 
 func TestModeNumbering(t *testing.T) {
@@ -136,18 +138,40 @@ func TestModeString(t *testing.T) {
 }
 
 func TestMeterStatic(t *testing.T) {
+	// One second's worth of base ticks at M7 bills 0.054 J.
+	secTicks := int64(timing.BaseFreqMHz) * 1_000_000
 	var m Meter
-	m.TickStatic(M7, 0, 1.0) // one second at M7
+	m.AddStatic(M7, 0, secTicks)
 	if got := m.StaticJoules(); math.Abs(got-0.054) > 1e-12 {
 		t.Fatalf("1 s at M7 = %g J, want 0.054", got)
 	}
-	m.TickStatic(Inactive, 0, 1.0)
+	m.AddStatic(Inactive, 0, secTicks)
 	if got := m.StaticJoules(); math.Abs(got-0.054) > 1e-12 {
 		t.Fatal("inactive second must add nothing")
 	}
-	m.TickStatic(Wakeup, M3, 1.0)
+	m.AddStatic(Wakeup, M3, secTicks)
 	if got := m.StaticJoules(); math.Abs(got-0.090) > 1e-12 {
 		t.Fatalf("wakeup into M3 must bill M3 power, total %g", got)
+	}
+}
+
+func TestMeterBatchedStaticIsBitIdentical(t *testing.T) {
+	// The fast-forward invariant: billing n ticks at once equals n
+	// single-tick bills exactly, not just approximately.
+	var one, batch Meter
+	for i := 0; i < 12345; i++ {
+		one.AddStatic(M5, 0, 1)
+	}
+	for i := 0; i < 678; i++ {
+		one.AddStatic(Wakeup, M6, 1)
+	}
+	batch.AddStatic(M5, 0, 12345)
+	batch.AddStatic(Wakeup, M6, 678)
+	if one.StaticJoules() != batch.StaticJoules() {
+		t.Fatalf("batched %v != per-tick %v", batch.StaticJoules(), one.StaticJoules())
+	}
+	if one.ResidencyTicks(M5) != batch.ResidencyTicks(M5) || one.ResidencyTicks(Wakeup) != batch.ResidencyTicks(Wakeup) {
+		t.Fatal("residency counters diverge")
 	}
 }
 
@@ -170,12 +194,12 @@ func TestMeterDynamic(t *testing.T) {
 func TestMeterResidency(t *testing.T) {
 	var m Meter
 	for i := 0; i < 10; i++ {
-		m.TickStatic(Inactive, 0, 1e-9)
+		m.AddStatic(Inactive, 0, 1)
 	}
 	for i := 0; i < 5; i++ {
-		m.TickStatic(M4, 0, 1e-9)
+		m.AddStatic(M4, 0, 1)
 	}
-	m.TickStatic(Wakeup, M4, 1e-9)
+	m.AddStatic(Wakeup, M4, 1)
 	if m.OffTicks() != 10 {
 		t.Errorf("off ticks = %d, want 10", m.OffTicks())
 	}
@@ -190,9 +214,9 @@ func TestMeterResidency(t *testing.T) {
 func TestMeterAddAndReset(t *testing.T) {
 	var a, b Meter
 	a.AddHop(M3)
-	a.TickStatic(M7, 0, 1.0)
+	a.AddStatic(M7, 0, 1)
 	b.AddHop(M7)
-	b.TickStatic(Inactive, 0, 1.0)
+	b.AddStatic(Inactive, 0, 1)
 	a.Add(&b)
 	if a.Hops() != 2 {
 		t.Errorf("merged hops = %d", a.Hops())
@@ -211,7 +235,7 @@ func TestMeterEnergyNonNegativeProperty(t *testing.T) {
 		var m Meter
 		for _, raw := range modes {
 			mode := Mode(1 + int(raw)%7)
-			m.TickStatic(mode, M5, 1e-9)
+			m.AddStatic(mode, M5, 1)
 			if mode.IsActive() {
 				m.AddHop(mode)
 			}

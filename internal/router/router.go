@@ -240,6 +240,18 @@ func (r *Router) Credit(outPort, vc int) {
 	r.credits[outPort][vc]++
 }
 
+// SkipCycles advances the local cycle counter by n cycles without doing
+// any switch allocation — the closed form of n Cycle calls on a router
+// whose buffers are empty. Callers (the engine's fast-forward path) must
+// guarantee the buffers really are empty: with flits buffered, skipping
+// would let them bypass the pipeline-delay check against ReadyCycle.
+func (r *Router) SkipCycles(n int64) {
+	if r.occupied != 0 {
+		panic(fmt.Sprintf("router %d: SkipCycles with %d flits buffered", r.ID, r.occupied))
+	}
+	r.localCycle += n
+}
+
 // Cycle performs one local router cycle: switch allocation and traversal.
 // At most one flit leaves per output port, and at most one flit leaves per
 // input port (single crossbar input per port).

@@ -72,6 +72,12 @@ type Config struct {
 	// CollectSeries records a per-epoch network snapshot (Result.Series)
 	// for time-resolved plots.
 	CollectSeries bool
+	// NoFastForward forces tick-by-tick execution even across quiescent
+	// stretches. Results are bit-identical with the flag on or off (the
+	// fast-forward path is an exact closed form); the knob exists so the
+	// equivalence tests can prove that, and as an escape hatch when
+	// debugging the engine itself.
+	NoFastForward bool
 }
 
 // Workload is a closed-loop traffic source (e.g. the mcsim multicore
@@ -150,6 +156,12 @@ type Result struct {
 
 	Ticks   int64
 	Drained bool // the network emptied before MaxTicks
+	// FastForwardedTicks counts base ticks covered by the quiescent-window
+	// fast-forward path (0 with NoFastForward, or when the network never
+	// went quiescent). Diagnostic only: it is the single Result field that
+	// may differ between a fast-forward and a tick-by-tick run of the same
+	// configuration — everything else is bit-identical.
+	FastForwardedTicks int64
 
 	PacketsInjected  int64
 	PacketsDelivered int64
@@ -215,6 +227,8 @@ type engine struct {
 	latencies  []int64
 	sumLatency int64
 	nLatency   int64
+
+	ffTicks int64 // ticks covered by the fast-forward path
 
 	nextID uint64
 }
@@ -290,13 +304,49 @@ func Run(cfg Config) (*Result, error) {
 			e.punchPath(p.SrcCore, p.DstCore)
 		}
 	}
+	fastForward := !cfg.NoFastForward && cfg.Workload == nil
 	for tick = 0; tick < cfg.MaxTicks; tick++ {
+		// Fast-forward: when the fabric is quiescent, every tick until the
+		// next injection, epoch boundary, or power-state transition is
+		// "boring" — billing and idle counting are its only effects — so we
+		// jump straight to the next interesting tick, charging the skipped
+		// window in closed form. The interesting tick itself is processed
+		// normally below. See DESIGN.md for the invariant argument.
+		if fastForward && cursor < len(entries) && e.net.Quiescent() {
+			delta := entries[cursor].Time - tick
+			if b := (tick/cfg.EpochTicks+1)*cfg.EpochTicks - 1 - tick; b < delta {
+				delta = b
+			}
+			if m := cfg.MaxTicks - tick; m < delta {
+				delta = m
+			}
+			for r := 0; r < nR && delta > 0; r++ {
+				if ev := e.ctrl.TicksToNextEvent(r); ev < delta {
+					delta = ev
+				}
+			}
+			if delta > 0 {
+				for r := 0; r < nR; r++ {
+					mode, wt := e.ctrl.BillingState(r)
+					e.meter[r].AddStatic(mode, wt, delta)
+					// Occupancy is zero while quiescent: ibuNum unchanged.
+					if cycles := e.ctrl.FastForward(r, delta); cycles > 0 {
+						e.net.Routers[r].SkipCycles(cycles)
+					}
+				}
+				e.ffTicks += delta
+				tick += delta
+				if tick >= cfg.MaxTicks {
+					break
+				}
+			}
+		}
 		e.ctrl.SetNow(timing.Tick(tick))
 		e.net.SetTick(tick)
 		e.net.DeliverDue()
 		for cursor < len(entries) && entries[cursor].Time <= tick {
 			en := entries[cursor]
-			injectNow(flit.New(0, en.Src, en.Dst, en.Kind, tick))
+			injectNow(e.net.AcquirePacket(en.Src, en.Dst, en.Kind, tick))
 			cursor++
 		}
 		if cfg.Workload != nil {
@@ -304,7 +354,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		for r := 0; r < nR; r++ {
 			mode, wt := e.ctrl.BillingState(r)
-			e.meter[r].TickStatic(mode, wt, timing.TickSeconds)
+			e.meter[r].AddStatic(mode, wt, 1)
 			occ, _ := e.net.Routers[r].Occupancy()
 			e.ibuNum[r] += int64(occ)
 			if e.ctrl.Advance(r) {
@@ -400,15 +450,16 @@ func (e *engine) result(ticks int64, drained bool) *Result {
 		traceName = e.cfg.Trace.Name
 	}
 	res := &Result{
-		Model:            e.cfg.Spec.Name,
-		Trace:            traceName,
-		Ticks:            ticks,
-		Drained:          drained,
-		PacketsInjected:  e.net.PacketsInjected(),
-		PacketsDelivered: e.net.PacketsDelivered(),
-		FlitsDelivered:   e.net.FlitsDelivered(),
-		Policy:           e.ctrl.Stats(),
-		Dataset:          e.dataset,
+		Model:              e.cfg.Spec.Name,
+		Trace:              traceName,
+		Ticks:              ticks,
+		Drained:            drained,
+		FastForwardedTicks: e.ffTicks,
+		PacketsInjected:    e.net.PacketsInjected(),
+		PacketsDelivered:   e.net.PacketsDelivered(),
+		FlitsDelivered:     e.net.FlitsDelivered(),
+		Policy:             e.ctrl.Stats(),
+		Dataset:            e.dataset,
 	}
 	if e.nLatency > 0 {
 		res.AvgLatencyTicks = float64(e.sumLatency) / float64(e.nLatency)

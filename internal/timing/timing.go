@@ -92,6 +92,32 @@ func (d *Domain) Tick() bool {
 // local period.
 func (d *Domain) Reset() { d.acc = 0 }
 
+// AdvanceBy advances the domain n base ticks at once and returns how many
+// local cycles fired. It is the exact closed form of calling Tick n times
+// and counting the true results: the accumulator ends in the same state,
+// so per-tick stepping may resume afterwards with no drift.
+func (d *Domain) AdvanceBy(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	total := int64(d.acc) + n*int64(d.freqMHz)
+	d.acc = int(total % BaseFreqMHz)
+	return total / BaseFreqMHz
+}
+
+// TicksUntilCycle returns the smallest n >= 1 such that the k-th local
+// cycle (k >= 1) fires during the n-th of the next n Tick calls. The
+// engine's fast-forward path uses it to locate wakeup/switch/gating
+// deadlines without stepping tick by tick.
+func (d *Domain) TicksUntilCycle(k int) int64 {
+	if k < 1 {
+		panic(fmt.Sprintf("timing: TicksUntilCycle of non-positive cycle count %d", k))
+	}
+	need := int64(k)*BaseFreqMHz - int64(d.acc)
+	f := int64(d.freqMHz)
+	return (need + f - 1) / f
+}
+
 // CyclesIn returns how many local cycles at freqMHz fit in n base ticks,
 // starting from a reset accumulator. It is the closed form of calling Tick
 // n times and counting the true results.

@@ -9,17 +9,57 @@ import (
 
 func fuzzTopo() topology.Topology { return topology.NewMesh(8, 8) }
 
-// FuzzReadBinary hardens the binary trace decoder against corrupt input:
-// it must return an error or a valid trace, never panic.
-func FuzzReadBinary(f *testing.F) {
-	tr := Synthetic(fuzzTopo(), UniformRandom, 0.02, 500, 1)
+// encodeBinary serializes a trace without validating it (WriteBinary
+// never validates), producing well-formed bytes carrying invalid
+// content — exactly what the decoder must reject rather than accept or
+// panic on.
+func encodeBinary(f *testing.F, tr *Trace) []byte {
+	f.Helper()
 	var buf bytes.Buffer
 	if err := tr.WriteBinary(&buf); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(buf.Bytes())
+	return buf.Bytes()
+}
+
+// invalidTraces enumerates decodable-but-invalid traces: every one must
+// come back from ReadBinary as an error, never a trace and never a
+// panic.
+func invalidTraces() map[string]*Trace {
+	return map[string]*Trace{
+		"out-of-range-src": {Name: "bad", Cores: 64, Horizon: 100,
+			Entries: []Entry{{Time: 1, Src: 64, Dst: 0}}},
+		"out-of-range-dst": {Name: "bad", Cores: 64, Horizon: 100,
+			Entries: []Entry{{Time: 1, Src: 0, Dst: 1 << 20}}},
+		"negative-src": {Name: "bad", Cores: 64, Horizon: 100,
+			Entries: []Entry{{Time: 1, Src: -1, Dst: 3}}},
+		"self-send": {Name: "bad", Cores: 64, Horizon: 100,
+			Entries: []Entry{{Time: 1, Src: 5, Dst: 5}}},
+		"non-monotonic-time": {Name: "bad", Cores: 64, Horizon: 100,
+			Entries: []Entry{{Time: 9, Src: 0, Dst: 1}, {Time: 3, Src: 1, Dst: 2}}},
+		"negative-time": {Name: "bad", Cores: 64, Horizon: 100,
+			Entries: []Entry{{Time: -7, Src: 0, Dst: 1}}},
+	}
+}
+
+// FuzzReadBinary hardens the binary trace decoder against corrupt input:
+// it must return an error or a valid trace, never panic.
+func FuzzReadBinary(f *testing.F) {
+	tr := Synthetic(fuzzTopo(), UniformRandom, 0.02, 500, 1)
+	f.Add(encodeBinary(f, tr))
 	f.Add([]byte("DZNT"))
 	f.Add([]byte{})
+	// Zero-length trace: structurally valid, zero entries.
+	f.Add(encodeBinary(f, &Trace{Name: "empty", Cores: 64, Horizon: 0}))
+	// Well-formed encodings of invalid content.
+	for _, bad := range invalidTraces() {
+		f.Add(encodeBinary(f, bad))
+	}
+	// A header whose declared entry count vastly exceeds the payload: must
+	// fail with a read error, not allocate terabytes.
+	huge := encodeBinary(f, &Trace{Name: "huge", Cores: 64, Horizon: 1})
+	copy(huge[len(huge)-8:], []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add(huge)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {
@@ -41,6 +81,13 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add(buf.String())
 	f.Add("time,src,dst,kind\n0,0,1,request\n")
 	f.Add("garbage")
+	f.Add("time,src,dst,kind\n")                               // zero-length trace
+	f.Add("time,src,dst,kind\n0,999,1,request\n")              // out-of-range src
+	f.Add("time,src,dst,kind\n0,0,-3,response\n")              // negative dst
+	f.Add("time,src,dst,kind\n0,4,4,request\n")                // self-send
+	f.Add("time,src,dst,kind\n9,0,1,request\n3,1,2,request\n") // non-monotonic
+	f.Add("time,src,dst,kind\n-5,0,1,request\n")               // negative time
+	f.Add("time,src,dst,kind\n0,0,1,banana\n")                 // unknown kind
 	f.Fuzz(func(t *testing.T, data string) {
 		got, err := ReadCSV(bytes.NewReader([]byte(data)), "fuzz", 64)
 		if err != nil {
@@ -50,4 +97,53 @@ func FuzzReadCSV(f *testing.F) {
 			t.Fatalf("decoder accepted an invalid trace: %v", err)
 		}
 	})
+}
+
+// TestReadBinaryRejectsInvalid pins the decoder's behavior on every
+// well-formed encoding of invalid content from the fuzz corpus: an error
+// return, never a panic, never silent acceptance.
+func TestReadBinaryRejectsInvalid(t *testing.T) {
+	for name, bad := range invalidTraces() {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := bad.WriteBinary(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := ReadBinary(&buf); err == nil {
+				t.Fatalf("decoder accepted invalid trace (%d entries)", len(got.Entries))
+			}
+		})
+	}
+}
+
+// TestReadBinaryEmptyTrace pins that a structurally valid zero-entry
+// trace round-trips (empty is a legal workload, not an error).
+func TestReadBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	src := &Trace{Name: "empty", Cores: 64, Horizon: 0}
+	if err := src.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 0 || got.Cores != 64 || got.Name != "empty" {
+		t.Fatalf("round-trip mangled empty trace: %+v", got)
+	}
+}
+
+// TestReadBinaryHugeCount pins that a header declaring far more entries
+// than the payload carries fails with a read error instead of trying to
+// allocate for the declared count.
+func TestReadBinaryHugeCount(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Trace{Name: "huge", Cores: 64, Horizon: 1}).WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	copy(data[len(data)-8:], []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("decoder accepted a trace whose declared count exceeds the payload")
+	}
 }
