@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: build test vet race bench check golden-update
+.PHONY: build test vet race bench bench-compare check golden-update
 
 build:
 	$(GO) build ./...
@@ -17,8 +18,25 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Benchmark snapshot: the JSON log (test2json stream) goes to
+# $(BENCH_FILE) for later comparison; the human-readable text is echoed
+# via cmd/benchtxt.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem -json . > $(BENCH_FILE)
+	$(GO) run ./cmd/benchtxt $(BENCH_FILE)
+
+# Diff two bench snapshots: make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json
+# Prefers benchstat (statistically sound) when installed; falls back to
+# cmd/benchtxt's mean-based ns/op delta table otherwise.
+bench-compare:
+	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "usage: make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json"; exit 2; }
+	@if command -v benchstat >/dev/null 2>&1; then \
+		$(GO) run ./cmd/benchtxt $(OLD) > $(OLD).txt; \
+		$(GO) run ./cmd/benchtxt $(NEW) > $(NEW).txt; \
+		benchstat $(OLD).txt $(NEW).txt; \
+	else \
+		$(GO) run ./cmd/benchtxt -compare $(OLD) $(NEW); \
+	fi
 
 # CI entry point: vet + full tests + race detector.
 check: vet test race

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/flit"
 	"repro/internal/mcsim"
 	"repro/internal/ml"
 	"repro/internal/policy"
@@ -220,6 +221,67 @@ func BenchmarkFastForwardLowLoad(b *testing.B) {
 	}
 	b.Run("fastforward", func(b *testing.B) { run(b, false) })
 	b.Run("tickbytick", func(b *testing.B) { run(b, true) })
+}
+
+// runActiveSetBench runs one trace under the gating DozzNoC model with
+// active-set scheduling on (the default) or off, asserting the lazy
+// path actually engaged when enabled. Global fast-forward stays enabled
+// in both sub-benchmarks — the comparison isolates the per-router
+// active set against the engine as it stood before it.
+func runActiveSetBench(b *testing.B, topo topology.Topology, tr *traffic.Trace, noActiveSet bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Topo:        topo,
+			Spec:        policy.DozzNoC(policy.ReactiveSelector{}),
+			Trace:       tr,
+			NoActiveSet: noActiveSet,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !noActiveSet && res.LazySkippedRouterTicks == 0 {
+			b.Fatal("active-set deferral never engaged")
+		}
+	}
+}
+
+// BenchmarkMediumLoad measures active-set scheduling under sustained
+// uniform-random load on the 8x8 mesh: traffic keeps the fabric from
+// ever going quiescent (so global fast-forward rarely helps), but at
+// any instant most routers are idle and deferrable.
+func BenchmarkMediumLoad(b *testing.B) {
+	topo := topology.NewMesh(8, 8)
+	tr := traffic.Synthetic(topo, traffic.UniformRandom, 0.002, 30_000, 1)
+	b.Run("activeset", func(b *testing.B) { runActiveSetBench(b, topo, tr, false) })
+	b.Run("noactiveset", func(b *testing.B) { runActiveSetBench(b, topo, tr, true) })
+}
+
+// hotspotTrace builds the regime global fast-forward misses entirely: a
+// 2x2 corner of cores exchanges traffic continuously for the whole
+// horizon while every other core is silent, so the network is never
+// quiescent but ~60 of 64 routers stay dormant.
+func hotspotTrace(topo topology.Topology, horizon int64) *traffic.Trace {
+	corner := []int{0, 1, 8, 9}
+	tr := &traffic.Trace{Name: "hotspot", Cores: topo.NumCores(), Horizon: horizon}
+	for t, i := int64(0), 0; t < horizon; t, i = t+3, i+1 {
+		tr.Entries = append(tr.Entries, traffic.Entry{
+			Time: t,
+			Src:  corner[i%len(corner)],
+			Dst:  corner[(i+1)%len(corner)],
+			Kind: flit.Request,
+		})
+	}
+	return tr
+}
+
+// BenchmarkHotspot measures active-set scheduling with a few saturated
+// routers and the rest idle (see hotspotTrace).
+func BenchmarkHotspot(b *testing.B) {
+	topo := topology.NewMesh(8, 8)
+	tr := hotspotTrace(topo, 30_000)
+	b.Run("activeset", func(b *testing.B) { runActiveSetBench(b, topo, tr, false) })
+	b.Run("noactiveset", func(b *testing.B) { runActiveSetBench(b, topo, tr, true) })
 }
 
 // BenchmarkRidgeFit measures the closed-form ridge solve on a dataset the

@@ -1,0 +1,182 @@
+// Command benchtxt works with the JSON benchmark logs written by `make
+// bench` (`go test -bench . -benchmem -json > BENCH_<date>.json`).
+//
+// With one file it recovers the plain-text benchmark output benchstat
+// consumes, by extracting the output events from the test2json stream:
+//
+//	benchtxt BENCH_2026-08-05.json > bench.txt
+//
+// With -compare and two files it prints a per-benchmark ns/op delta
+// table itself — a benchstat fallback for environments without the
+// tool (`make bench-compare` prefers benchstat when installed):
+//
+//	benchtxt -compare BENCH_old.json BENCH_new.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of a test2json record benchtxt needs.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+func main() {
+	compare := flag.Bool("compare", false, "compare two JSON benchmark logs (old new)")
+	flag.Parse()
+	args := flag.Args()
+	switch {
+	case *compare && len(args) == 2:
+		if err := compareFiles(args[0], args[1]); err != nil {
+			fatal(err)
+		}
+	case !*compare && len(args) == 1:
+		if err := dumpText(args[0]); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchtxt FILE.json | benchtxt -compare OLD.json NEW.json")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtxt:", err)
+	os.Exit(1)
+}
+
+// outputLines streams the Output payload of every output event in a
+// test2json log to fn.
+func outputLines(path string, fn func(line string)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			// Tolerate stray non-JSON lines (e.g. build output).
+			continue
+		}
+		if ev.Action == "output" {
+			fn(ev.Output)
+		}
+	}
+	return sc.Err()
+}
+
+func dumpText(path string) error {
+	return outputLines(path, func(line string) { fmt.Print(line) })
+}
+
+// result is one benchmark's aggregated measurements.
+type result struct {
+	runs   int
+	nsOp   float64 // summed, averaged at report time
+	bOp    float64
+	allocs float64
+}
+
+// parseBench collects per-benchmark means keyed by name (GOMAXPROCS
+// suffix stripped, so -cpu sweeps of the same benchmark aggregate).
+// test2json splits a benchmark's name and its measurements into
+// separate output events (the name chunk ends in a tab, not a newline),
+// so chunks are reassembled into logical lines before parsing.
+func parseBench(path string) (map[string]*result, error) {
+	out := make(map[string]*result)
+	var pending strings.Builder
+	parseLine := func(line string) {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			return
+		}
+		nsOp, ok := metric(fields, "ns/op")
+		if !ok {
+			return
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := out[name]
+		if r == nil {
+			r = &result{}
+			out[name] = r
+		}
+		r.runs++
+		r.nsOp += nsOp
+		if v, ok := metric(fields, "B/op"); ok {
+			r.bOp += v
+		}
+		if v, ok := metric(fields, "allocs/op"); ok {
+			r.allocs += v
+		}
+	}
+	err := outputLines(path, func(chunk string) {
+		pending.WriteString(chunk)
+		if !strings.HasSuffix(chunk, "\n") {
+			return
+		}
+		for _, line := range strings.Split(pending.String(), "\n") {
+			parseLine(line)
+		}
+		pending.Reset()
+	})
+	for _, line := range strings.Split(pending.String(), "\n") {
+		parseLine(line)
+	}
+	return out, err
+}
+
+// metric finds `<value> <unit>` in a benchmark line's fields.
+func metric(fields []string, unit string) (float64, bool) {
+	for i := 1; i < len(fields); i++ {
+		if fields[i] == unit {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}
+
+func compareFiles(oldPath, newPath string) error {
+	oldR, err := parseBench(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := parseBench(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldR))
+	for name := range oldR {
+		if _, ok := newR[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o := oldR[name].nsOp / float64(oldR[name].runs)
+		n := newR[name].nsOp / float64(newR[name].runs)
+		fmt.Printf("%-50s %14.0f %14.0f %+7.1f%%\n", name, o, n, 100*(n-o)/o)
+	}
+	return nil
+}

@@ -40,8 +40,18 @@ func main() {
 		rate       = flag.Float64("rate", 0.01, "injection rate for -pattern (packets/core/tick)")
 		series     = flag.String("series", "", "write a per-epoch time-series CSV to this file")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Profiles flush on normal exit only; fatal() paths abort before the
+	// expensive simulation, where a partial profile has no value.
+	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, p := range traffic.Profiles() {

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/mcsim"
@@ -42,6 +43,7 @@ type runConfig struct {
 
 func main() {
 	var rc runConfig
+	var cpuProfile, memProfile string
 	flag.StringVar(&rc.only, "only", "", "comma-separated experiment ids (default: all)")
 	flag.Int64Var(&rc.horizon, "horizon", 120_000, "trace generation window in base ticks")
 	flag.Int64Var(&rc.compress, "compress", exp.DefaultCompression, "compression factor for compressed-trace experiments")
@@ -49,10 +51,19 @@ func main() {
 	flag.BoolVar(&rc.cmesh, "cmesh", true, "include the 4x4 cmesh headline row")
 	flag.StringVar(&rc.csvDir, "csv", "", "also write machine-readable CSVs for fig7/fig8/fig9/headline into this directory")
 	flag.BoolVar(&rc.parallel, "parallel", false, "run independent simulations on a worker pool (identical results, less wall-clock)")
+	flag.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(os.Stdout, os.Stderr, rc); err != nil {
+	stopProfiles, err := cli.StartProfiles(cpuProfile, memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	runErr := run(os.Stdout, os.Stderr, rc)
+	stopProfiles()
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
 }

@@ -5,6 +5,8 @@ package cli
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -65,6 +67,43 @@ func ParsePattern(name string) (traffic.Pattern, error) {
 		return traffic.Neighbor, nil
 	}
 	return 0, fmt.Errorf("cli: unknown pattern %q", name)
+}
+
+// StartProfiles begins CPU profiling and arranges a heap snapshot,
+// driven by the shared -cpuprofile/-memprofile flags. Either path may be
+// empty. It returns a stop function for the caller to defer; stop
+// finishes the CPU profile and writes the heap profile (after a GC, so
+// it reflects live objects rather than collection timing).
+func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cli: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cli: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cli: create mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cli: write mem profile:", err)
+			}
+		}
+	}, nil
 }
 
 // LoadTrace reads a binary trace file written by cmd/tracegen.

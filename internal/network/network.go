@@ -22,6 +22,13 @@ type PowerView interface {
 	CanAccept(routerID int) bool
 	// WakeRequest asks the power manager to wake a router if it is
 	// power-gated; it must be a no-op for routers already awake.
+	//
+	// It is also the activation funnel the engine's active-set scheduler
+	// relies on: every way a router can be handed work — an injection
+	// claim at an attached core, a head flit routed toward it, a wake
+	// punch — calls WakeRequest before any flit can land there, so an
+	// implementation that interposes here sees every lazily deferred
+	// router strictly before its state can change.
 	WakeRequest(routerID int)
 }
 
@@ -227,6 +234,13 @@ func (n *Network) Quiescent() bool {
 // Secured reports whether a router currently holds securing claims.
 func (n *Network) Secured(routerID int) bool { return n.secured[routerID] > 0 }
 
+// secure takes one claim on a router and raises a wake request. The
+// securing discipline — the source router is claimed at injection, the
+// next-hop router when a head flit wins switch allocation, and claims
+// are held until the tail lands — guarantees that any flit landing at a
+// router was preceded by a secure() call for it, which makes
+// PowerView.WakeRequest a sound single activation point for lazy
+// scheduling (see sim's active-set engine and DESIGN.md §5b).
 func (n *Network) secure(routerID int) {
 	n.secured[routerID]++
 	n.securedTotal++

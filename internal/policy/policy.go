@@ -389,6 +389,28 @@ func (c *Controller) TicksToNextEvent(routerID int) int64 {
 	}
 }
 
+// Dormant reports whether the router has no pending autonomous
+// transition: left alone, it stays in its current state (and keeps its
+// current billing mode) indefinitely until external input — a wake
+// punch, a flit arrival, an epoch-boundary mode switch — arrives.
+// Dormant is the policy-side leg of the engine's active-set deferral
+// condition: a dormant router whose buffers are empty and which holds
+// no securing claims can be taken off the per-tick schedule entirely
+// and caught up in closed form (FastForward) when it is next touched.
+// Dormant(r) is equivalent to TicksToNextEvent(r) == NoEvent but avoids
+// the integer division on the hot path.
+func (c *Controller) Dormant(routerID int) bool {
+	pm := &c.pm[routerID]
+	switch pm.state {
+	case Inactive:
+		return true
+	case Wakeup:
+		return false
+	default:
+		return pm.switchLeft == 0 && !c.spec.PowerGating
+	}
+}
+
 // FastForward advances the router's state machine by delta base ticks in
 // one step — the exact closed form of delta Advance calls on a quiescent
 // network. The caller must bound delta so that no transition fires inside

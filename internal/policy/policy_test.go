@@ -493,3 +493,65 @@ func TestGlobalSelectorName(t *testing.T) {
 		t.Error("name wrong")
 	}
 }
+
+// requireDormant checks Dormant against its documented equivalence with
+// TicksToNextEvent == NoEvent.
+func requireDormant(t *testing.T, c *Controller, r int, want bool, when string) {
+	t.Helper()
+	if got := c.Dormant(r); got != want {
+		t.Fatalf("%s: Dormant = %v, want %v", when, got, want)
+	}
+	if ev := c.TicksToNextEvent(r); (ev == NoEvent) != want {
+		t.Fatalf("%s: TicksToNextEvent = %d disagrees with Dormant = %v", when, ev, want)
+	}
+}
+
+// TestDormant walks a router through every power state and checks the
+// active-set deferral predicate: dormant exactly when no autonomous
+// transition is pending, and always in agreement with TicksToNextEvent.
+func TestDormant(t *testing.T) {
+	// A non-gating spec: an Active router outside a switch sits still
+	// forever.
+	c := NewController(1, Baseline())
+	c.SetNetView(newFakeNet())
+	requireDormant(t, c, 0, true, "baseline fresh")
+
+	// A gating spec: the idle countdown is a pending transition, so an
+	// Active router is never dormant; Inactive is terminal-until-woken,
+	// so it is; Wakeup counts down, so it is not.
+	c = NewController(1, PowerGated())
+	nv := newFakeNet()
+	nv.empty[0] = true
+	c.SetNetView(nv)
+	requireDormant(t, c, 0, false, "gating active")
+	for tick := 0; c.State(0) == Active; tick++ {
+		c.SetNow(timing.Tick(tick))
+		if c.Advance(0) {
+			c.PostCycle(0)
+		}
+	}
+	requireDormant(t, c, 0, true, "gated")
+	c.WakeRequest(0)
+	requireDormant(t, c, 0, false, "waking")
+	for tick := DefaultTIdle + 1; c.State(0) == Wakeup; tick++ {
+		c.SetNow(timing.Tick(tick))
+		c.Advance(0)
+	}
+	requireDormant(t, c, 0, false, "re-active after wake")
+
+	// A DVFS spec mid-switch: the voltage-switch pause is a pending
+	// transition; dormancy returns once it completes.
+	c = NewController(1, DVFSML(FixedSelector{Mode: power.M3}))
+	c.SetNetView(newFakeNet())
+	requireDormant(t, c, 0, true, "dvfs fresh")
+	c.EpochBoundary(0, 0, nil)
+	requireDormant(t, c, 0, false, "mid voltage switch")
+	for tick := 0; !c.Dormant(0) && tick < 10_000; tick++ {
+		c.SetNow(timing.Tick(tick))
+		c.Advance(0)
+	}
+	requireDormant(t, c, 0, true, "switch complete")
+	if c.Mode(0) != power.M3 {
+		t.Fatalf("mode after switch = %v, want M3", c.Mode(0))
+	}
+}

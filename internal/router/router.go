@@ -215,8 +215,28 @@ func (r *Router) AcceptFlit(env Env, inPort, vc int, f *flit.Flit) {
 
 // Occupancy returns occupied and total input-buffer slots; the ratio is the
 // instantaneous input buffer utilization (IBU) sampled by the DVFS logic.
+// The occupied count is an aggregate maintained incrementally on every
+// flit enqueue (AcceptFlit) and dequeue (popFront), so sampling it is
+// O(1) — the engine's per-tick IBU accumulation never walks the VCs.
 func (r *Router) Occupancy() (occupied, total int) {
 	return r.occupied, r.cfg.Ports * r.cfg.VCs * r.cfg.Depth
+}
+
+// Occupied returns the occupied-slot aggregate alone (O(1)).
+func (r *Router) Occupied() int { return r.occupied }
+
+// RecountOccupancy recomputes the occupied-slot count the slow way, by
+// walking every input VC queue. It exists so tests (and debugging
+// invariant checks) can prove the incremental aggregate returned by
+// Occupancy never drifts from the ground truth.
+func (r *Router) RecountOccupancy() int {
+	n := 0
+	for p := range r.in {
+		for v := range r.in[p] {
+			n += len(r.in[p][v].q)
+		}
+	}
+	return n
 }
 
 // BuffersEmpty reports whether every input VC is empty (one of the paper's

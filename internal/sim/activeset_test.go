@@ -1,0 +1,183 @@
+// Active-set scheduling equivalence harness, the per-router analogue of
+// fastforward_test.go. The property locked down here: deferring dormant
+// routers and catching them up in closed form is bit-exact — every
+// Result field except the two scheduling diagnostics is deeply equal
+// between a lazy run and a fully eager tick-by-tick run, for all five
+// model kinds on a train and a test trace, and for a closed-loop mcsim
+// workload (a regime the quiescent-window fast-forward never covers).
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mcsim"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// zeroSchedulingDiagnostics clears the two Result fields that are
+// allowed to differ between scheduling strategies: which ticks were
+// covered by the global fast-forward versus the per-router lazy path is
+// a property of the engine's schedule, not of the simulated hardware.
+func zeroSchedulingDiagnostics(r *sim.Result) {
+	r.FastForwardedTicks = 0
+	r.LazySkippedRouterTicks = 0
+}
+
+// runActiveSetPair executes one configuration with default scheduling
+// (active set + fast-forward) and fully eager (both disabled).
+func runActiveSetPair(t *testing.T, s *core.Suite, kind core.ModelKind, trace string, collect bool) (lazy, eager *sim.Result) {
+	t.Helper()
+	spec, err := s.Spec(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Trace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.Config{
+		Topo:           s.Topo,
+		Spec:           spec,
+		Trace:          tr,
+		CollectDataset: collect,
+		CollectSeries:  collect,
+	}
+	lazy, err = sim.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh spec gives stateful selectors (ML+TURBO) a clean slate, as
+	// the first run would have mutated shared counters.
+	base.Spec, err = s.Spec(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.NoActiveSet = true
+	base.NoFastForward = true
+	eager, err = sim.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lazy, eager
+}
+
+// TestActiveSetEquivalence proves active-set scheduling is bit-exact:
+// for all five model kinds on a train and a test trace, every Result
+// field except the scheduling diagnostics is deeply equal between a
+// default (lazy) run and a fully eager tick-by-tick run.
+func TestActiveSetEquivalence(t *testing.T) {
+	s := passthroughSuite(t)
+	engaged := false
+	for _, kind := range core.AllKinds {
+		for _, trace := range equivTraces {
+			kind, trace := kind, trace
+			t.Run(kind.String()+"/"+trace, func(t *testing.T) {
+				lazy, eager := runActiveSetPair(t, s, kind, trace, false)
+				if eager.LazySkippedRouterTicks != 0 {
+					t.Fatalf("NoActiveSet run deferred %d router-ticks", eager.LazySkippedRouterTicks)
+				}
+				if lazy.LazySkippedRouterTicks > 0 {
+					engaged = true
+				}
+				zeroSchedulingDiagnostics(lazy)
+				zeroSchedulingDiagnostics(eager)
+				if !reflect.DeepEqual(lazy, eager) {
+					t.Errorf("active-set result differs from eager tick-by-tick:\nlazy:  %+v\neager: %+v", lazy, eager)
+				}
+			})
+		}
+	}
+	if !engaged {
+		t.Error("active-set deferral never engaged on any configuration; equivalence test is vacuous")
+	}
+}
+
+// TestActiveSetEquivalenceCollecting repeats the equivalence check with
+// dataset harvesting and series collection on, so the epoch-boundary
+// catch-up barrier (IBU labels, feature vectors, series snapshots) is
+// also proven exact.
+func TestActiveSetEquivalenceCollecting(t *testing.T) {
+	s := passthroughSuite(t)
+	for _, kind := range []core.ModelKind{core.KindDozzNoC, core.KindPG} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			lazy, eager := runActiveSetPair(t, s, kind, "blackscholes", true)
+			zeroSchedulingDiagnostics(lazy)
+			zeroSchedulingDiagnostics(eager)
+			if !reflect.DeepEqual(lazy.Dataset, eager.Dataset) {
+				t.Error("harvested datasets differ between active-set and eager runs")
+			}
+			if !reflect.DeepEqual(lazy.Series, eager.Series) {
+				t.Error("epoch series differ between active-set and eager runs")
+			}
+			if !reflect.DeepEqual(lazy, eager) {
+				t.Errorf("active-set result differs from eager tick-by-tick:\nlazy:  %+v\neager: %+v", lazy, eager)
+			}
+		})
+	}
+}
+
+// TestActiveSetLazyTicksScheduleInvariant pins the diagnostic itself:
+// because the active set never contains a deferrable router when the
+// quiescent-window fast-forward fires, the number of lazily deferred
+// router-ticks is identical whether or not global fast-forward engages.
+func TestActiveSetLazyTicksScheduleInvariant(t *testing.T) {
+	s := passthroughSuite(t)
+	ff, slow := runPair(t, s, core.KindDozzNoC, "fft", false)
+	if ff.LazySkippedRouterTicks != slow.LazySkippedRouterTicks {
+		t.Errorf("lazy router-ticks depend on fast-forward: ff=%d tick-by-tick=%d",
+			ff.LazySkippedRouterTicks, slow.LazySkippedRouterTicks)
+	}
+	if ff.LazySkippedRouterTicks == 0 {
+		t.Error("active-set deferral never engaged")
+	}
+}
+
+// TestActiveSetEquivalenceClosedLoop proves the equivalence on a
+// closed-loop mcsim workload, where injection reacts to deliveries and
+// global fast-forward never engages — the regime active-set scheduling
+// was built for. Both the engine Results and the workload's own stats
+// must match.
+func TestActiveSetEquivalenceClosedLoop(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	params := mcsim.DefaultSystem(topo)
+	params.Core.Instructions = 20_000
+
+	run := func(eager bool) (*sim.Result, mcsim.Stats) {
+		w, err := mcsim.New(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Topo:          topo,
+			Spec:          policy.DozzNoC(policy.ReactiveSelector{}),
+			Workload:      w,
+			NoActiveSet:   eager,
+			NoFastForward: eager,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Drained {
+			t.Fatal("closed-loop run did not finish")
+		}
+		return res, w.Stats()
+	}
+	lazy, lazyStats := run(false)
+	eager, eagerStats := run(true)
+	if lazy.LazySkippedRouterTicks == 0 {
+		t.Error("active-set deferral never engaged on the closed-loop workload")
+	}
+	zeroSchedulingDiagnostics(lazy)
+	zeroSchedulingDiagnostics(eager)
+	if !reflect.DeepEqual(lazy, eager) {
+		t.Errorf("active-set result differs from eager tick-by-tick:\nlazy:  %+v\neager: %+v", lazy, eager)
+	}
+	if !reflect.DeepEqual(lazyStats, eagerStats) {
+		t.Errorf("workload stats differ:\nlazy:  %+v\neager: %+v", lazyStats, eagerStats)
+	}
+}

@@ -13,6 +13,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/features"
 	"repro/internal/flit"
@@ -78,6 +79,15 @@ type Config struct {
 	// equivalence tests can prove that, and as an escape hatch when
 	// debugging the engine itself.
 	NoFastForward bool
+	// NoActiveSet forces the per-tick loop to visit every router instead
+	// of only the active set (routers with buffered flits, securing
+	// claims, or a pending power-state transition). Like NoFastForward,
+	// results are bit-identical either way — deferred routers are caught
+	// up with the same integer closed forms — so the knob exists for the
+	// equivalence proofs and as a debugging escape hatch. Unlike the
+	// quiescent-window fast-forward, active-set scheduling also engages
+	// for closed-loop workloads.
+	NoActiveSet bool
 }
 
 // Workload is a closed-loop traffic source (e.g. the mcsim multicore
@@ -158,10 +168,16 @@ type Result struct {
 	Drained bool // the network emptied before MaxTicks
 	// FastForwardedTicks counts base ticks covered by the quiescent-window
 	// fast-forward path (0 with NoFastForward, or when the network never
-	// went quiescent). Diagnostic only: it is the single Result field that
-	// may differ between a fast-forward and a tick-by-tick run of the same
+	// went quiescent). Diagnostic only: it is a Result field that may
+	// differ between a fast-forward and a tick-by-tick run of the same
 	// configuration — everything else is bit-identical.
 	FastForwardedTicks int64
+	// LazySkippedRouterTicks counts router-ticks (one router deferred for
+	// one base tick) covered by the active-set lazy catch-up path instead
+	// of eager per-tick stepping (0 with NoActiveSet). Diagnostic only,
+	// like FastForwardedTicks: equivalence tests zero both before
+	// comparing Results.
+	LazySkippedRouterTicks int64
 
 	PacketsInjected  int64
 	PacketsDelivered int64
@@ -230,7 +246,96 @@ type engine struct {
 
 	ffTicks int64 // ticks covered by the fast-forward path
 
+	// Active-set scheduling state (see DESIGN.md §5b). A router is in the
+	// active set iff the per-tick loop must visit it: it has buffered
+	// flits, holds securing claims, or has a pending autonomous power
+	// transition (wakeup/switch countdown, idle-gating countdown).
+	// Deferred routers are dormant — nothing about them changes per tick
+	// except residency billing and clock-domain phase — so they are
+	// caught up in closed form when next touched.
+	lazy      bool
+	active    []uint64 // bitset of routers the per-tick loop visits
+	lastTick  []int64  // per router: first tick not yet accounted
+	loopPos   int      // routers with ID < loopPos were stepped this tick
+	curTick   int64    // tick currently being processed
+	ffIDs     []int    // scratch: active IDs during a fast-forward jump
+	lazyTicks int64    // router-ticks covered by deferred catch-up
+
 	nextID uint64
+}
+
+// Active-set bitset primitives.
+func (e *engine) inSet(r int) bool { return e.active[r>>6]&(1<<uint(r&63)) != 0 }
+func (e *engine) setBit(r int)     { e.active[r>>6] |= 1 << uint(r&63) }
+func (e *engine) clearBit(r int)   { e.active[r>>6] &^= 1 << uint(r&63) }
+
+// activeIDs appends the IDs of all active-set routers, ascending.
+func (e *engine) activeIDs(buf []int) []int {
+	for wi, w := range e.active {
+		base := wi << 6
+		for w != 0 {
+			buf = append(buf, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return buf
+}
+
+// canDefer reports whether a router may leave the active set: no
+// buffered flit, no securing claim (which also rules out queued
+// injections and in-flight wire traffic toward it), and no pending
+// autonomous power transition. While all three hold, a tick changes
+// nothing about the router beyond residency billing and clock-domain
+// phase, both of which catch-up reproduces exactly.
+func (e *engine) canDefer(r int) bool {
+	return e.ctrl.Dormant(r) && e.net.Routers[r].BuffersEmpty() && !e.net.Secured(r)
+}
+
+// catchUpTo replays the deferred window [lastTick[r], target) for a
+// router in closed form: batched static billing at its (constant)
+// billing state, zero occupancy contribution (its buffers were empty
+// throughout), and clock-domain/cycle-counter advancement. Exactness
+// rests on the same arguments as the quiescent-window fast-forward
+// (DESIGN.md §5a): the meter counts integer residency ticks, and a
+// dormant router's billing state cannot change inside the window.
+func (e *engine) catchUpTo(r int, target int64) {
+	delta := target - e.lastTick[r]
+	if delta <= 0 {
+		return
+	}
+	mode, wt := e.ctrl.BillingState(r)
+	e.meter[r].AddStatic(mode, wt, delta)
+	if cycles := e.ctrl.FastForward(r, delta); cycles > 0 {
+		e.net.Routers[r].SkipCycles(cycles)
+	}
+	e.lazyTicks += delta
+	e.lastTick[r] = target
+}
+
+// catchUpAll advances every lagging router to target — the epoch
+// boundary barrier (IBU, features, series snapshots and meter sums must
+// be computed from fully-advanced state) and the end-of-run flush.
+func (e *engine) catchUpAll(target int64) {
+	for r := range e.lastTick {
+		if e.lastTick[r] < target {
+			e.catchUpTo(r, target)
+		}
+	}
+}
+
+// refreshActive recomputes active-set membership for every router. It
+// runs after each epoch-boundary sweep, which can start voltage
+// switches on routers that were deferred (the selector runs for all
+// active-state routers, scheduled or not); those must re-arm onto the
+// schedule until the switch completes.
+func (e *engine) refreshActive() {
+	for r := range e.lastTick {
+		if e.canDefer(r) {
+			e.clearBit(r)
+		} else {
+			e.setBit(r)
+		}
+	}
 }
 
 // netView adapts the network for policy.NetView.
@@ -255,6 +360,49 @@ func (e *engine) FlitHopped(routerID int) {
 	e.meter[routerID].AddHop(e.ctrl.Mode(routerID))
 }
 
+// CanAccept implements network.PowerView by delegating to the
+// controller; the engine interposes on the interface for WakeRequest.
+func (e *engine) CanAccept(routerID int) bool { return e.ctrl.CanAccept(routerID) }
+
+// WakeRequest implements network.PowerView: it is the single activation
+// funnel of the active set. Every way a deferred router can be handed
+// work — an injection claim at an attached core, a head flit buffered
+// upstream and routed toward it, a path punch — raises a securing claim
+// or an explicit punch, and both call here before any flit can land. A
+// deferred router is first caught up (billing its deferred window at
+// the pre-wake state and restoring its clock phase/cycle counter, which
+// AcceptFlit's ReadyCycle stamp depends on), then re-enters the
+// schedule, and only then does the controller see the wake.
+func (e *engine) WakeRequest(routerID int) {
+	if e.lazy && !e.inSet(routerID) {
+		target := e.curTick
+		if routerID < e.loopPos {
+			// The eager sweep already passed this router's slot for the
+			// current tick; in an all-eager run it would have been
+			// stepped this tick in its still-deferred state, so the
+			// closed form covers the current tick too and the router
+			// rejoins the schedule from the next tick.
+			target++
+		}
+		e.catchUpTo(routerID, target)
+		e.setBit(routerID)
+	}
+	e.ctrl.WakeRequest(routerID)
+}
+
+// stepRouter runs one router's per-tick work: static billing, IBU
+// accumulation, and the power-state machine with a network cycle when
+// the router's clock fires.
+func (e *engine) stepRouter(r int) {
+	mode, wt := e.ctrl.BillingState(r)
+	e.meter[r].AddStatic(mode, wt, 1)
+	e.ibuNum[r] += int64(e.net.Routers[r].Occupied())
+	if e.ctrl.Advance(r) {
+		e.net.RouterCycle(r)
+		e.ctrl.PostCycle(r)
+	}
+}
+
 // Run executes one simulation.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.applyDefaults(); err != nil {
@@ -268,7 +416,9 @@ func Run(cfg Config) (*Result, error) {
 		ibuNum:  make([]int64, nR),
 		pending: make([][]float64, nR),
 	}
-	e.net = network.New(cfg.Topo, cfg.VCs, cfg.Depth, cfg.Pipeline, e.ctrl, e, e)
+	// The engine, not the controller, is the network's PowerView: its
+	// WakeRequest wrapper is the active-set activation hook.
+	e.net = network.New(cfg.Topo, cfg.VCs, cfg.Depth, cfg.Pipeline, e, e, e)
 	e.net.SetLinkTicks(cfg.LinkTicks)
 	e.ctrl.SetNetView(netView{e.net})
 	e.ext = cfg.Extractor
@@ -288,9 +438,27 @@ func Run(cfg Config) (*Result, error) {
 	_, slots := e.net.Routers[0].Occupancy()
 	e.slotsPerR = int64(slots)
 
+	e.lazy = !cfg.NoActiveSet
+	if e.lazy {
+		e.active = make([]uint64, (nR+63)/64)
+		e.lastTick = make([]int64, nR)
+		// Initial membership mirrors the steady-state invariant: only
+		// routers that cannot defer (e.g. a spec whose initial power state
+		// has a pending transition) start on the schedule. Idle dormant
+		// routers begin deferred at tick 0 — the catch-up closed form
+		// reproduces their eager ticks exactly — which also keeps the
+		// active set free of deferrable members at every fast-forward
+		// check, so LazySkippedRouterTicks is identical with fast-forward
+		// on or off.
+		e.refreshActive()
+	}
+
 	var entries []traffic.Entry
 	if cfg.Trace != nil {
 		entries = cfg.Trace.Entries
+		// One packet per entry and deliveries never exceed injections, so
+		// this capacity makes the per-delivery latency append allocation-free.
+		e.latencies = make([]int64, 0, len(entries))
 	}
 	cursor := 0
 	drained := false
@@ -320,20 +488,50 @@ func Run(cfg Config) (*Result, error) {
 			if m := cfg.MaxTicks - tick; m < delta {
 				delta = m
 			}
-			for r := 0; r < nR && delta > 0; r++ {
-				if ev := e.ctrl.TicksToNextEvent(r); ev < delta {
-					delta = ev
+			if e.lazy {
+				// Deferred routers are dormant (no pending autonomous
+				// event) by the active-set invariant, so only schedule
+				// members can bound the window, and only they need
+				// advancing: deferred routers stay behind and are caught
+				// up against the jumped clock when next touched.
+				e.ffIDs = e.activeIDs(e.ffIDs[:0])
+				for _, r := range e.ffIDs {
+					if delta <= 0 {
+						break
+					}
+					if ev := e.ctrl.TicksToNextEvent(r); ev < delta {
+						delta = ev
+					}
+				}
+				if delta > 0 {
+					for _, r := range e.ffIDs {
+						mode, wt := e.ctrl.BillingState(r)
+						e.meter[r].AddStatic(mode, wt, delta)
+						// Occupancy is zero while quiescent: ibuNum unchanged.
+						if cycles := e.ctrl.FastForward(r, delta); cycles > 0 {
+							e.net.Routers[r].SkipCycles(cycles)
+						}
+						e.lastTick[r] += delta
+					}
+				}
+			} else {
+				for r := 0; r < nR && delta > 0; r++ {
+					if ev := e.ctrl.TicksToNextEvent(r); ev < delta {
+						delta = ev
+					}
+				}
+				if delta > 0 {
+					for r := 0; r < nR; r++ {
+						mode, wt := e.ctrl.BillingState(r)
+						e.meter[r].AddStatic(mode, wt, delta)
+						// Occupancy is zero while quiescent: ibuNum unchanged.
+						if cycles := e.ctrl.FastForward(r, delta); cycles > 0 {
+							e.net.Routers[r].SkipCycles(cycles)
+						}
+					}
 				}
 			}
 			if delta > 0 {
-				for r := 0; r < nR; r++ {
-					mode, wt := e.ctrl.BillingState(r)
-					e.meter[r].AddStatic(mode, wt, delta)
-					// Occupancy is zero while quiescent: ibuNum unchanged.
-					if cycles := e.ctrl.FastForward(r, delta); cycles > 0 {
-						e.net.Routers[r].SkipCycles(cycles)
-					}
-				}
 				e.ffTicks += delta
 				tick += delta
 				if tick >= cfg.MaxTicks {
@@ -343,6 +541,8 @@ func Run(cfg Config) (*Result, error) {
 		}
 		e.ctrl.SetNow(timing.Tick(tick))
 		e.net.SetTick(tick)
+		e.curTick = tick
+		e.loopPos = 0
 		e.net.DeliverDue()
 		for cursor < len(entries) && entries[cursor].Time <= tick {
 			en := entries[cursor]
@@ -352,18 +552,44 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.Workload != nil {
 			cfg.Workload.Tick(tick, injectNow)
 		}
-		for r := 0; r < nR; r++ {
-			mode, wt := e.ctrl.BillingState(r)
-			e.meter[r].AddStatic(mode, wt, 1)
-			occ, _ := e.net.Routers[r].Occupancy()
-			e.ibuNum[r] += int64(occ)
-			if e.ctrl.Advance(r) {
-				e.net.RouterCycle(r)
-				e.ctrl.PostCycle(r)
+		if e.lazy {
+			// Visit only the active set, in ascending router order (the
+			// same order the eager sweep uses). Re-reading the bitset word
+			// after each step picks up routers activated mid-sweep at a
+			// higher ID — they are stepped this tick, exactly like the
+			// eager sweep would — while routers activated at an ID already
+			// passed were caught up through this tick at activation.
+			for wi := range e.active {
+				base := wi << 6
+				w := e.active[wi]
+				for w != 0 {
+					b := bits.TrailingZeros64(w)
+					r := base + b
+					e.loopPos = r
+					e.stepRouter(r)
+					e.lastTick[r] = tick + 1
+					if e.canDefer(r) {
+						e.clearBit(r)
+					}
+					w = e.active[wi] & (^uint64(0) << uint(b+1))
+				}
+			}
+			e.loopPos = nR
+		} else {
+			for r := 0; r < nR; r++ {
+				e.stepRouter(r)
 			}
 		}
 		if (tick+1)%cfg.EpochTicks == 0 {
+			if e.lazy {
+				// Catch-up barrier: epoch IBU, feature vectors, series
+				// snapshots and meter sums must see fully-advanced state.
+				e.catchUpAll(tick + 1)
+			}
 			e.epochBoundary(timing.Tick(tick + 1))
+			if e.lazy {
+				e.refreshActive()
+			}
 		}
 		sourceDone := cursor >= len(entries)
 		if cfg.Workload != nil {
@@ -374,6 +600,9 @@ func Run(cfg Config) (*Result, error) {
 			tick++
 			break
 		}
+	}
+	if e.lazy {
+		e.catchUpAll(tick)
 	}
 	return e.result(tick, drained), nil
 }
@@ -389,7 +618,7 @@ func (e *engine) punchPath(srcCore, dstCore int) {
 	last := t.RouterOf(dstCore)
 	hops := e.cfg.PunchHops
 	for {
-		e.ctrl.WakeRequest(r)
+		e.WakeRequest(r)
 		if r == last {
 			return
 		}
@@ -450,16 +679,17 @@ func (e *engine) result(ticks int64, drained bool) *Result {
 		traceName = e.cfg.Trace.Name
 	}
 	res := &Result{
-		Model:              e.cfg.Spec.Name,
-		Trace:              traceName,
-		Ticks:              ticks,
-		Drained:            drained,
-		FastForwardedTicks: e.ffTicks,
-		PacketsInjected:    e.net.PacketsInjected(),
-		PacketsDelivered:   e.net.PacketsDelivered(),
-		FlitsDelivered:     e.net.FlitsDelivered(),
-		Policy:             e.ctrl.Stats(),
-		Dataset:            e.dataset,
+		Model:                  e.cfg.Spec.Name,
+		Trace:                  traceName,
+		Ticks:                  ticks,
+		Drained:                drained,
+		FastForwardedTicks:     e.ffTicks,
+		LazySkippedRouterTicks: e.lazyTicks,
+		PacketsInjected:        e.net.PacketsInjected(),
+		PacketsDelivered:       e.net.PacketsDelivered(),
+		FlitsDelivered:         e.net.FlitsDelivered(),
+		Policy:                 e.ctrl.Stats(),
+		Dataset:                e.dataset,
 	}
 	if e.nLatency > 0 {
 		res.AvgLatencyTicks = float64(e.sumLatency) / float64(e.nLatency)
