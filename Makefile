@@ -1,7 +1,9 @@
 GO ?= go
 BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
+# bench-gate baseline: newest committed snapshot unless overridden.
+BASE ?= $(shell ls BENCH_*.json 2>/dev/null | sort | tail -1)
 
-.PHONY: build test vet race bench bench-compare check golden-update
+.PHONY: build test vet race race-sharded bench bench-compare bench-gate check golden-update
 
 build:
 	$(GO) build ./...
@@ -17,6 +19,13 @@ vet:
 # TrainAllParallel) under the race detector.
 race:
 	$(GO) test -race ./...
+
+# The sharded-equivalence race gate, runnable on its own: the concurrent
+# tick engine's bit-exactness proofs (DESIGN.md §5c) under the race
+# detector, fast enough to fail a sharding bug before the full race
+# sweep runs.
+race-sharded:
+	$(GO) test -race -run 'TestShardedSweepEngagesAndMatchesSerial|TestActiveSetEquivalence' ./internal/sim
 
 # Benchmark snapshot: the JSON log (test2json stream) goes to
 # $(BENCH_FILE) for later comparison; the human-readable text is echoed
@@ -38,8 +47,18 @@ bench-compare:
 		$(GO) run ./cmd/benchtxt -compare $(OLD) $(NEW); \
 	fi
 
-# CI entry point: vet + full tests + race detector.
-check: vet test race
+# Benchmark regression gate: rerun the scheduling benchmarks and compare
+# against the committed baseline (newest BENCH_*.json unless BASE= is
+# given), failing on >10% mean ns/op regression via cmd/benchtxt -gate.
+GATE_BENCHES = BenchmarkHotspot|BenchmarkBigMesh|BenchmarkMediumLoad
+bench-gate:
+	@test -n "$(BASE)" || { echo "bench-gate: no BENCH_*.json baseline found (set BASE=)"; exit 2; }
+	$(GO) test -bench='$(GATE_BENCHES)' -benchmem -json . > .bench-gate.json
+	$(GO) run ./cmd/benchtxt -gate -pattern '$(GATE_BENCHES)' -max-regress 10 $(BASE) .bench-gate.json
+
+# CI entry point: vet + full tests + sharded-equivalence race gate +
+# full race detector sweep.
+check: vet test race-sharded race
 
 # Regenerate the cmd/experiments golden snapshots after an intentional
 # output change (review the diff before committing).

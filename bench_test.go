@@ -7,6 +7,7 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -276,12 +277,99 @@ func hotspotTrace(topo topology.Topology, horizon int64) *traffic.Trace {
 }
 
 // BenchmarkHotspot measures active-set scheduling with a few saturated
-// routers and the rest idle (see hotspotTrace).
+// routers and the rest idle (see hotspotTrace). The shards=N
+// sub-benchmarks sweep the same trace under explicit shard counts; on
+// this geometry the busy corner sits inside the first shard's boundary
+// margin, so concurrent sweeps never engage and the numbers measure the
+// sharded engine's serial-fallback overhead (expected ~1x). See
+// BenchmarkBigMesh for the geometry where sharding pays.
 func BenchmarkHotspot(b *testing.B) {
 	topo := topology.NewMesh(8, 8)
 	tr := hotspotTrace(topo, 30_000)
 	b.Run("activeset", func(b *testing.B) { runActiveSetBench(b, topo, tr, false) })
 	b.Run("noactiveset", func(b *testing.B) { runActiveSetBench(b, topo, tr, true) })
+	for _, k := range []int{1, 2, 4} {
+		k := k
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sim.Config{
+					Topo:   topo,
+					Spec:   policy.DozzNoC(policy.ReactiveSelector{}),
+					Trace:  tr,
+					Shards: k,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// bigMeshTrace drives four four-row bands, one deep inside each quarter
+// of a 32-row mesh, with band-local traffic (XY routing keeps flits
+// inside their band's rows). Every shard boundary margin at Shards∈{2,4}
+// stays inert, so the quiet-margin predicate admits concurrent sweeps
+// tick after tick while a couple of hundred routers stay busy — the
+// regime the sharded engine is for.
+func bigMeshTrace(topo topology.Topology, horizon int64) *traffic.Trace {
+	width := topo.Width()
+	bandRows := []int{1, 10, 18, 27}
+	bands := make([][]int, 0, len(bandRows))
+	for _, row0 := range bandRows {
+		cores := make([]int, 0, 4*width)
+		for row := row0; row < row0+4; row++ {
+			for x := 0; x < width; x++ {
+				cores = append(cores, topo.CoreAt(topo.RouterAt(x, row), 0))
+			}
+		}
+		bands = append(bands, cores)
+	}
+	tr := &traffic.Trace{Name: "bigmesh", Cores: topo.NumCores(), Horizon: horizon}
+	for t, i := int64(0), 0; t < horizon; t, i = t+1, i+1 {
+		for _, cs := range bands {
+			tr.Entries = append(tr.Entries,
+				traffic.Entry{Time: t, Src: cs[i%len(cs)], Dst: cs[(i+21)%len(cs)], Kind: flit.Request},
+				traffic.Entry{Time: t, Src: cs[(i+31)%len(cs)], Dst: cs[(i+7)%len(cs)], Kind: flit.Response})
+		}
+	}
+	return tr
+}
+
+// BenchmarkBigMesh measures sharded concurrent sweeps on a 16x32 mesh
+// (512 routers) where four distant row bands stay busy at once. The
+// shards=1 sub-benchmark is the serial reference. On a multi-core host
+// shards=4 should approach the sweep's Amdahl ceiling (profiling puts
+// ~96% of serial time inside the partitionable sweep, so ~3.8x at four
+// shards); on a single-core host (GOMAXPROCS=1) the same numbers
+// measure the two-phase staging overhead instead, since the concurrent
+// sweeps can only interleave.
+func BenchmarkBigMesh(b *testing.B) {
+	topo := topology.NewMesh(16, 32)
+	tr := bigMeshTrace(topo, 10_000)
+	run := func(b *testing.B, shards int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// The default ShardMinActive threshold applies: banded load
+			// keeps a couple of hundred routers active, well above it.
+			res, err := sim.Run(sim.Config{
+				Topo:   topo,
+				Spec:   policy.DozzNoC(policy.ReactiveSelector{}),
+				Trace:  tr,
+				Shards: shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if shards > 1 && res.ParallelTicks == 0 {
+				b.Fatal("sharded sweep never engaged")
+			}
+		}
+	}
+	for _, k := range []int{1, 2, 4} {
+		k := k
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) { run(b, k) })
+	}
 }
 
 // BenchmarkRidgeFit measures the closed-form ridge solve on a dataset the

@@ -11,6 +11,13 @@
 // tool (`make bench-compare` prefers benchstat when installed):
 //
 //	benchtxt -compare BENCH_old.json BENCH_new.json
+//
+// With -gate it becomes a CI regression gate: like -compare, but the
+// benchmark set can be restricted with -pattern (a regexp on benchmark
+// names) and the exit status is nonzero if any matched benchmark's mean
+// ns/op regressed by more than -max-regress percent (`make bench-gate`):
+//
+//	benchtxt -gate -pattern '^BenchmarkHotspot' -max-regress 10 BENCH_base.json BENCH_new.json
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -32,19 +40,26 @@ type event struct {
 
 func main() {
 	compare := flag.Bool("compare", false, "compare two JSON benchmark logs (old new)")
+	gate := flag.Bool("gate", false, "compare two logs and exit nonzero on ns/op regression beyond -max-regress")
+	pattern := flag.String("pattern", "", "regexp restricting which benchmarks -gate checks (default: all common)")
+	maxRegress := flag.Float64("max-regress", 10, "allowed mean ns/op regression percent for -gate")
 	flag.Parse()
 	args := flag.Args()
 	switch {
-	case *compare && len(args) == 2:
+	case *gate && len(args) == 2:
+		if err := gateFiles(args[0], args[1], *pattern, *maxRegress); err != nil {
+			fatal(err)
+		}
+	case *compare && !*gate && len(args) == 2:
 		if err := compareFiles(args[0], args[1]); err != nil {
 			fatal(err)
 		}
-	case !*compare && len(args) == 1:
+	case !*compare && !*gate && len(args) == 1:
 		if err := dumpText(args[0]); err != nil {
 			fatal(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: benchtxt FILE.json | benchtxt -compare OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchtxt FILE.json | benchtxt -compare OLD.json NEW.json | benchtxt -gate [-pattern RE] [-max-regress PCT] BASE.json NEW.json")
 		os.Exit(2)
 	}
 }
@@ -178,5 +193,52 @@ func compareFiles(oldPath, newPath string) error {
 		n := newR[name].nsOp / float64(newR[name].runs)
 		fmt.Printf("%-50s %14.0f %14.0f %+7.1f%%\n", name, o, n, 100*(n-o)/o)
 	}
+	return nil
+}
+
+// gateFiles compares base against new like compareFiles, restricted to
+// benchmarks matching pattern, and fails if any regressed beyond
+// maxRegress percent mean ns/op. Benchmarks present on only one side are
+// ignored (new benchmarks have no baseline; retired ones gate nothing).
+func gateFiles(basePath, newPath, pattern string, maxRegress float64) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -pattern: %v", err)
+	}
+	baseR, err := parseBench(basePath)
+	if err != nil {
+		return err
+	}
+	newR, err := parseBench(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(baseR))
+	for name := range baseR {
+		if _, ok := newR[name]; ok && re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks matching %q between %s and %s", pattern, basePath, newPath)
+	}
+	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	var failed []string
+	for _, name := range names {
+		b := baseR[name].nsOp / float64(baseR[name].runs)
+		n := newR[name].nsOp / float64(newR[name].runs)
+		delta := 100 * (n - b) / b
+		verdict := ""
+		if delta > maxRegress {
+			verdict = "  REGRESSED"
+			failed = append(failed, name)
+		}
+		fmt.Printf("%-50s %14.0f %14.0f %+7.1f%%%s\n", name, b, n, delta, verdict)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s", len(failed), maxRegress, strings.Join(failed, ", "))
+	}
+	fmt.Printf("gate passed: %d benchmark(s) within %.0f%% of %s\n", len(names), maxRegress, basePath)
 	return nil
 }

@@ -40,6 +40,7 @@ func main() {
 		rate       = flag.Float64("rate", 0.01, "injection rate for -pattern (packets/core/tick)")
 		series     = flag.String("series", "", "write a per-epoch time-series CSV to this file")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
+		shards     = flag.Int("shards", 0, "tick-engine shards (0 = min(GOMAXPROCS, mesh rows), 1 = serial sweep; results are bit-identical)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -69,7 +70,11 @@ func main() {
 		fatal(err)
 	}
 
-	suite := core.NewSuite(topo, core.Options{Horizon: *horizon, EpochTicks: *epoch, Seed: *seed})
+	nShards, err := cli.ParseShards(*shards)
+	if err != nil {
+		fatal(err)
+	}
+	suite := core.NewSuite(topo, core.Options{Horizon: *horizon, EpochTicks: *epoch, Seed: *seed, Shards: nShards})
 	if *weightsDir != "" {
 		n, err := suite.LoadTrainedModels(*weightsDir)
 		if err != nil {
@@ -123,6 +128,7 @@ func main() {
 		Spec:          spec,
 		Trace:         tr,
 		EpochTicks:    *epoch,
+		Shards:        nShards,
 		CollectSeries: *series != "",
 	})
 	if err != nil {

@@ -32,6 +32,7 @@ type runConfig struct {
 	cmesh    bool
 	csvDir   string
 	parallel bool
+	shards   int // per-simulation tick-engine shards (0 = auto)
 	meshW    int // mesh dimensions (default 8x8)
 	meshH    int
 
@@ -51,6 +52,7 @@ func main() {
 	flag.BoolVar(&rc.cmesh, "cmesh", true, "include the 4x4 cmesh headline row")
 	flag.StringVar(&rc.csvDir, "csv", "", "also write machine-readable CSVs for fig7/fig8/fig9/headline into this directory")
 	flag.BoolVar(&rc.parallel, "parallel", false, "run independent simulations on a worker pool (identical results, less wall-clock)")
+	flag.IntVar(&rc.shards, "shards", 0, "per-simulation tick-engine shards (0 = min(GOMAXPROCS, mesh rows), 1 = serial sweep; results are bit-identical)")
 	flag.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -127,7 +129,7 @@ func run(out, errOut io.Writer, rc runConfig) error {
 		return nil
 	}
 
-	opts := core.Options{Horizon: rc.horizon, Seed: rc.seed, Parallel: rc.parallel}
+	opts := core.Options{Horizon: rc.horizon, Seed: rc.seed, Parallel: rc.parallel, Shards: rc.shards}
 	newSuite := func(topo topology.Topology, o core.Options) *core.Suite {
 		s := core.NewSuite(topo, o)
 		if rc.configureSuite != nil {

@@ -35,6 +35,18 @@ func ParseTopo(name string) (topology.Topology, error) {
 	return nil, fmt.Errorf("cli: unknown topology %q", name)
 }
 
+// ParseShards validates a -shards flag value: 0 selects the engine's
+// automatic default (min(GOMAXPROCS, mesh router rows)), positive values
+// request that many row-aligned tick-engine shards (clamped to the row
+// count by the engine), and negatives are rejected. Results are
+// bit-identical for every accepted value.
+func ParseShards(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("cli: -shards must be >= 0, got %d", n)
+	}
+	return n, nil
+}
+
 // ParseKind parses a model name as used throughout the paper.
 func ParseKind(name string) (core.ModelKind, error) {
 	switch strings.ToLower(name) {

@@ -87,6 +87,11 @@ type Options struct {
 	// single-threaded and deterministic, so results are identical to the
 	// sequential paths; only wall-clock changes.
 	Parallel bool
+
+	// Shards is the per-simulation tick-engine shard count (sim.Config
+	// Shards): 0 auto-sizes to min(GOMAXPROCS, mesh rows), 1 forces the
+	// serial sweep. Bit-identical results for any value.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -252,6 +257,7 @@ func (s *Suite) Dataset(kind ModelKind, trace string) (*ml.Dataset, error) {
 		Pipeline:       s.Opts.Pipeline,
 		LinkTicks:      s.Opts.LinkTicks,
 		EpochTicks:     s.Opts.EpochTicks,
+		Shards:         s.Opts.Shards,
 		CollectDataset: true,
 	})
 	if err != nil {
@@ -368,6 +374,7 @@ func (s *Suite) RunTrace(kind ModelKind, t *traffic.Trace) (*sim.Result, error) 
 		Pipeline:   s.Opts.Pipeline,
 		LinkTicks:  s.Opts.LinkTicks,
 		EpochTicks: s.Opts.EpochTicks,
+		Shards:     s.Opts.Shards,
 	})
 }
 
@@ -546,6 +553,7 @@ func (s *Suite) CompareParallel(bench string, factor int64) (*Comparison, error)
 				Pipeline:   s.Opts.Pipeline,
 				LinkTicks:  s.Opts.LinkTicks,
 				EpochTicks: s.Opts.EpochTicks,
+				Shards:     s.Opts.Shards,
 			})
 			if err != nil {
 				errs <- fmt.Errorf("core: %v on %s: %w", kind, bench, err)

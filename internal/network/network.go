@@ -5,10 +5,19 @@
 // power-gating (§III-B): a router with any upstream packet routed toward it
 // is "secured" and may not power off; if it is off, it receives an
 // immediate wake punch.
+//
+// Router cycles mutate the fabric through per-shard staging lanes (see
+// lane.go): shard-shared state — the wire FIFO, delivery callbacks, the
+// aggregate counters — is staged during a sweep and folded in by Commit,
+// which the engine calls once per tick. Aggregate accessors (InFlight,
+// Quiescent, the flit/packet counters) are therefore only current between
+// Commits; per-router state (Secured, QueuedPackets, router buffers) is
+// always current.
 package network
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/flit"
 	"repro/internal/router"
@@ -61,6 +70,9 @@ type injState struct {
 	vc      int // VC claimed for the in-flight packet, -1 if none
 }
 
+// noWireDue is the wire watermark when nothing rides a link.
+const noWireDue = math.MaxInt64
+
 // Network is the assembled fabric.
 type Network struct {
 	Topo    topology.Topology
@@ -74,12 +86,18 @@ type Network struct {
 	// flits arrive within the sending cycle.
 	linkTicks int64
 	wire      []transit // FIFO: all sends at tick t arrive at t+linkTicks
+	wireNext  int64     // deliverAt of the wire head, noWireDue when empty
 
 	inj     []injState
 	secured []int // securing count per router
 
+	// lanes holds one staging area per shard (always at least one; the
+	// serial engine and standalone callers use lane 0 for everything).
+	lanes []lane
+
 	// Aggregates kept alongside the per-router/per-core state so the
-	// engine can test quiescence in O(1) every tick.
+	// engine can test quiescence in O(1) every tick. Staged lane deltas
+	// fold in at Commit.
 	queuedPackets int // packets waiting or mid-injection across all cores
 	securedTotal  int // sum of securing claims across all routers
 
@@ -92,8 +110,9 @@ type Network struct {
 	flitsInjected    int64
 	packetsInjected  int64
 
-	// pool recycles the packets and flits of trace-driven traffic (see
+	// pool recycles the packets of trace-driven traffic (see
 	// AcquirePacket); externally created packets pass through untouched.
+	// Flits are recycled by the per-lane pools.
 	pool flit.Pool
 
 	now int64 // current base tick, set by the engine each tick
@@ -116,6 +135,7 @@ func New(topo topology.Topology, vcs, depth, pipeline int, pv PowerView, sink Si
 		pv:          pv,
 		sink:        sink,
 		hop:         hop,
+		wireNext:    noWireDue,
 		inj:         make([]injState, topo.NumCores()),
 		secured:     make([]int, topo.NumRouters()),
 		coreSentReq: make([]int64, topo.NumCores()),
@@ -128,7 +148,22 @@ func New(topo topology.Topology, vcs, depth, pipeline int, pv PowerView, sink Si
 	for i := range n.Routers {
 		n.Routers[i] = router.New(i, cfg)
 	}
+	n.SetShards(1)
 	return n
+}
+
+// SetShards sizes the staging-lane array for k concurrent shards. Call it
+// before traffic flows (anything staged in the old lanes is dropped).
+func (n *Network) SetShards(k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("network: bad shard count %d", k))
+	}
+	n.lanes = make([]lane, k)
+	for i := range n.lanes {
+		n.lanes[i].n = n
+		n.lanes[i].wire = make([]transit, 0, 32)
+		n.lanes[i].deliv = make([]delivery, 0, 16)
+	}
 }
 
 // SetTick tells the network the current base tick (used to stamp packet
@@ -144,29 +179,38 @@ func (n *Network) SetLinkTicks(t int64) {
 	n.linkTicks = t
 }
 
+// NextWireDue returns the tick at which the earliest in-flight wire flit
+// lands, or math.MaxInt64 when nothing rides a link. The engine uses it to
+// skip DeliverDue in O(1). Only current between Commits.
+func (n *Network) NextWireDue() int64 { return n.wireNext }
+
 // DeliverDue lands every in-flight flit whose wire latency has elapsed;
-// the engine calls it once per tick before cycling routers. A no-op when
-// the link latency is zero (sends deliver inline).
+// the engine calls it once per tick before cycling routers. O(1) when
+// nothing is due (wire watermark). Landings stage through lane 0, so they
+// are visible to routers immediately but to the aggregate counters only
+// after the tick's Commit.
 func (n *Network) DeliverDue() {
+	if n.now < n.wireNext {
+		return
+	}
 	for len(n.wire) > 0 && n.wire[0].deliverAt <= n.now {
 		t := n.wire[0]
 		n.wire = n.wire[1:]
 		if len(n.wire) == 0 {
 			n.wire = nil
 		}
-		n.land(t.dst, t.inPort, t.vc, t.f)
+		n.lanes[0].land(t.dst, t.inPort, t.vc, t.f)
 	}
+	n.updateWireNext()
 }
 
-// land places a flit into its destination router and, for tails, releases
-// the securing claim on that router (the packet now fully resides there,
-// so its buffers keep it awake).
-func (n *Network) land(dst, inPort, vc int, f *flit.Flit) {
-	out, nn, _ := topology.Lookahead(n.Topo, dst, f.Pkt.DstCore)
-	f.OutPort, f.NextRouter = out, nn
-	n.Routers[dst].AcceptFlit(n, inPort, vc, f)
-	if f.Tail {
-		n.unsecure(dst)
+// updateWireNext recomputes the watermark from the wire head. The wire is
+// FIFO with a constant link latency, so the head is the minimum.
+func (n *Network) updateWireNext() {
+	if len(n.wire) == 0 {
+		n.wireNext = noWireDue
+	} else {
+		n.wireNext = n.wire[0].deliverAt
 	}
 }
 
@@ -181,7 +225,9 @@ func (n *Network) AcquirePacket(src, dst int, kind flit.Kind, injectAt int64) *f
 
 // Inject queues a packet at its source core. The source router becomes
 // secured (and is punched awake if gated) until the packet's tail flit has
-// entered the network.
+// entered the network. Injection is an engine-serial operation (trace
+// replay, workload ticks, sink callbacks) and updates the aggregates
+// directly rather than through a lane.
 func (n *Network) Inject(p *flit.Packet) {
 	if p.SrcCore < 0 || p.SrcCore >= n.Topo.NumCores() {
 		panic(fmt.Sprintf("network: bad source core %d", p.SrcCore))
@@ -190,7 +236,9 @@ func (n *Network) Inject(p *flit.Packet) {
 	st.queue = append(st.queue, p)
 	n.queuedPackets++
 	r := n.Topo.RouterOf(p.SrcCore)
-	n.secure(r)
+	n.secured[r]++
+	n.securedTotal++
+	n.pv.WakeRequest(r)
 }
 
 // QueuedPackets returns the number of packets waiting (or mid-injection)
@@ -216,7 +264,8 @@ func (n *Network) TotalQueued() int {
 // InFlight reports whether any flit is buffered anywhere, riding a link,
 // or queued for injection (used to detect drain completion). Flits only
 // leave the network by ejection, so the injected/delivered flit counters
-// differ exactly while any flit is buffered or on a wire.
+// differ exactly while any flit is buffered or on a wire. Only current
+// between Commits.
 func (n *Network) InFlight() bool {
 	return len(n.wire) > 0 || n.flitsInjected != n.flitsDelivered || n.queuedPackets > 0
 }
@@ -226,6 +275,7 @@ func (n *Network) InFlight() bool {
 // mid-injection at any core, and no securing claim held on any router.
 // While this holds (and no new injection arrives), no router can receive
 // a wake punch and no flit can move, so the engine may fast-forward time.
+// Only current between Commits.
 func (n *Network) Quiescent() bool {
 	return len(n.wire) == 0 && n.flitsInjected == n.flitsDelivered &&
 		n.queuedPackets == 0 && n.securedTotal == 0
@@ -234,28 +284,16 @@ func (n *Network) Quiescent() bool {
 // Secured reports whether a router currently holds securing claims.
 func (n *Network) Secured(routerID int) bool { return n.secured[routerID] > 0 }
 
-// secure takes one claim on a router and raises a wake request. The
-// securing discipline — the source router is claimed at injection, the
-// next-hop router when a head flit wins switch allocation, and claims
-// are held until the tail lands — guarantees that any flit landing at a
-// router was preceded by a secure() call for it, which makes
-// PowerView.WakeRequest a sound single activation point for lazy
-// scheduling (see sim's active-set engine and DESIGN.md §5b).
-func (n *Network) secure(routerID int) {
-	n.secured[routerID]++
-	n.securedTotal++
-	n.pv.WakeRequest(routerID)
+// Inert reports whether a router holds no buffered flit and no securing
+// claim — i.e. it cannot emit any effect when cycled, and nothing already
+// committed can move a flit into it this tick. The sharded engine's
+// quiet-margin predicate reads it (single-threaded) to prove shard
+// boundaries are isolated before sweeping concurrently.
+func (n *Network) Inert(routerID int) bool {
+	return n.Routers[routerID].Occupied() == 0 && n.secured[routerID] == 0
 }
 
-func (n *Network) unsecure(routerID int) {
-	n.secured[routerID]--
-	n.securedTotal--
-	if n.secured[routerID] < 0 {
-		panic(fmt.Sprintf("network: securing underflow on router %d", routerID))
-	}
-}
-
-// Counters.
+// Counters. Only current between Commits.
 func (n *Network) FlitsDelivered() int64   { return n.flitsDelivered }
 func (n *Network) PacketsDelivered() int64 { return n.packetsDelivered }
 func (n *Network) FlitsInjected() int64    { return n.flitsInjected }
@@ -266,67 +304,68 @@ func (n *Network) PacketsInjected() int64  { return n.packetsInjected }
 func (n *Network) CoreSentRequests(core int) int64 { return n.coreSentReq[core] }
 func (n *Network) CoreRecvRequests(core int) int64 { return n.coreRecvReq[core] }
 
-// RouterCycle runs one local cycle of a router: injection from its attached
-// cores, then switch allocation/traversal. The engine must only call it for
-// routers whose power state allows operation.
-func (n *Network) RouterCycle(routerID int) {
-	n.injectInto(routerID)
-	n.Routers[routerID].Cycle(n)
-}
-
-// injectInto moves at most one flit per local port from each attached
-// core's source queue into the router's input buffers.
-func (n *Network) injectInto(routerID int) {
+// CycleRouter runs one local cycle of a router against shard's staging
+// lane: injection from its attached cores, then switch allocation and
+// traversal. The engine must only call it for routers whose power state
+// allows operation, and — during a concurrent sweep — only from the
+// goroutine that owns shard, for routers inside that shard.
+func (n *Network) CycleRouter(routerID, shard int) {
+	l := &n.lanes[shard]
 	r := n.Routers[routerID]
 	c0 := routerID * n.Topo.Concentration()
 	for lp := 0; lp < n.Topo.Concentration(); lp++ {
-		n.injectCore(r, c0+lp, lp)
+		l.injectCore(r, c0+lp, lp)
 	}
+	r.Cycle(l)
 }
 
-func (n *Network) injectCore(r *router.Router, core, localPort int) {
-	st := &n.inj[core]
-	if st.flits == nil {
-		if len(st.queue) == 0 {
-			return
+// RouterCycle is the single-shard form of CycleRouter with an immediate
+// Commit, preserving the historical cycle-then-observe contract for
+// standalone callers (tests, tools) that inspect counters or sink state
+// after each router cycle.
+func (n *Network) RouterCycle(routerID int) {
+	n.CycleRouter(routerID, 0)
+	n.Commit()
+}
+
+// Commit folds every lane's staged effects into the shared state, in
+// ascending lane order: wire appends first (lane order equals ascending
+// router order, so the merged FIFO matches what a serial sweep would have
+// appended), then counter deltas, then delivery callbacks in the same
+// order the serial sweep would have fired them. The engine calls it once
+// per tick after the sweep; it must run single-threaded.
+func (n *Network) Commit() {
+	for i := range n.lanes {
+		l := &n.lanes[i]
+		if len(l.wire) > 0 {
+			n.wire = append(n.wire, l.wire...)
+			for j := range l.wire {
+				l.wire[j].f = nil
+			}
+			l.wire = l.wire[:0]
 		}
-		p := st.queue[0]
-		// Claim a VC in the packet's message class with room for the head.
-		vc, ok := n.pickInjVC(r, localPort, p.Kind)
-		if !ok {
-			return
-		}
-		st.queue = st.queue[1:]
-		if len(st.queue) == 0 {
-			st.queue = nil
-		}
-		st.flits = n.pool.GetFlits(p)
-		st.nextSeq = 0
-		st.vc = vc
-		p.Injected = n.now
-		n.packetsInjected++
-		if p.Kind == flit.Request {
-			n.coreSentReq[core]++
-		}
+		n.flitsInjected += l.dFlitsInjected
+		n.flitsDelivered += l.dFlitsDelivered
+		n.packetsInjected += l.dPacketsInjected
+		n.packetsDelivered += l.dPacketsDelivered
+		n.queuedPackets += l.dQueued
+		n.securedTotal += l.dSecured
+		l.dFlitsInjected, l.dFlitsDelivered = 0, 0
+		l.dPacketsInjected, l.dPacketsDelivered = 0, 0
+		l.dQueued, l.dSecured = 0, 0
 	}
-	if !r.HasSpace(localPort, st.vc) {
-		return
-	}
-	f := st.flits[st.nextSeq]
-	// Look-ahead route for this router.
-	out, next, _ := topology.Lookahead(n.Topo, r.ID, f.Pkt.DstCore)
-	f.OutPort, f.NextRouter = out, next
-	r.AcceptFlit(n, localPort, st.vc, f)
-	n.flitsInjected++
-	st.nextSeq++
-	if st.nextSeq == len(st.flits) {
-		// Tail has entered the network: release the source router's
-		// securing claim for this packet.
-		n.pool.PutSlice(st.flits)
-		st.flits = nil
-		st.vc = -1
-		n.queuedPackets--
-		n.unsecure(r.ID)
+	n.updateWireNext()
+	for i := range n.lanes {
+		l := &n.lanes[i]
+		for j := range l.deliv {
+			d := l.deliv[j]
+			if n.sink != nil {
+				n.sink.PacketDelivered(d.p, d.core, n.now)
+			}
+			n.pool.PutPacket(d.p)
+			l.deliv[j] = delivery{}
+		}
+		l.deliv = l.deliv[:0]
 	}
 }
 
@@ -339,90 +378,4 @@ func (n *Network) pickInjVC(r *router.Router, localPort int, k flit.Kind) (int, 
 		}
 	}
 	return 0, false
-}
-
-// --- router.Env implementation ---
-
-var _ router.Env = (*Network)(nil)
-
-// ForwardFlit wires output port outPort of r to the opposite input port of
-// the neighbor, computing the look-ahead route for the next hop. With a
-// nonzero link latency the flit rides the wire and lands in DeliverDue.
-func (n *Network) ForwardFlit(r *router.Router, outPort, outVC int, f *flit.Flit) {
-	next := n.Topo.Neighbor(r.ID, outPort)
-	if next < 0 {
-		panic(fmt.Sprintf("network: router %d forwarded out of edge port %d", r.ID, outPort))
-	}
-	inPort := topology.OppositePort(n.Topo, outPort)
-	if n.linkTicks == 0 {
-		n.land(next, inPort, outVC, f)
-		return
-	}
-	n.wire = append(n.wire, transit{deliverAt: n.now + n.linkTicks, dst: next, inPort: inPort, vc: outVC, f: f})
-}
-
-// EjectFlit consumes a flit at a local port; tails complete the packet.
-// Ejection is the end of a flit's life, so pool-owned flits (and, after
-// the sink callback, their packet) are recycled here.
-func (n *Network) EjectFlit(r *router.Router, localPort int, f *flit.Flit) {
-	n.flitsDelivered++
-	if !f.Tail {
-		n.pool.PutFlit(f)
-		return
-	}
-	core := n.Topo.CoreAt(r.ID, localPort)
-	p := f.Pkt
-	n.pool.PutFlit(f)
-	p.Ejected = n.now
-	n.packetsDelivered++
-	if p.Kind == flit.Request {
-		n.coreRecvReq[core]++
-	}
-	if n.sink != nil {
-		n.sink.PacketDelivered(p, core, n.now)
-	}
-	n.pool.PutPacket(p)
-}
-
-// CreditFreed returns a credit to the upstream router; injection ports
-// need none (the source queue polls HasSpace).
-func (n *Network) CreditFreed(r *router.Router, inPort, vc int) {
-	if r.IsLocalPort(inPort) {
-		return
-	}
-	up := n.Topo.Neighbor(r.ID, inPort)
-	if up < 0 {
-		panic(fmt.Sprintf("network: credit from edge port %d of router %d", inPort, r.ID))
-	}
-	n.Routers[up].Credit(topology.OppositePort(n.Topo, inPort), vc)
-}
-
-// CanForward gates transmission on the downstream router being able to
-// accept flits (active, not switching).
-func (n *Network) CanForward(r *router.Router, outPort int) bool {
-	next := n.Topo.Neighbor(r.ID, outPort)
-	if next < 0 {
-		return false
-	}
-	return n.pv.CanAccept(next)
-}
-
-// HeadAccepted secures (and punch-wakes) the downstream router of a newly
-// buffered packet.
-func (n *Network) HeadAccepted(r *router.Router, f *flit.Flit) {
-	if f.NextRouter >= 0 {
-		n.secure(f.NextRouter)
-	}
-}
-
-// TailForwarded is a router-side notification; the securing claim on the
-// downstream router is released when the tail *lands* there (see land),
-// so a router can never gate with a packet still on its incoming wire.
-func (n *Network) TailForwarded(r *router.Router, outPort int, f *flit.Flit) {}
-
-// FlitMoved bills a dynamic-energy hop at the moving router.
-func (n *Network) FlitMoved(r *router.Router, f *flit.Flit) {
-	if n.hop != nil {
-		n.hop.FlitHopped(r.ID)
-	}
 }

@@ -303,3 +303,54 @@ func TestManyToOneHotspotDrains(t *testing.T) {
 		t.Fatalf("hotspot drain delivered %d/%d", len(sink.delivered), want)
 	}
 }
+
+// TestWireWatermark pins the event-driven wire watermark: NextWireDue
+// tracks the earliest in-flight deliverAt exactly, DeliverDue before
+// that tick is a no-op (the O(1) fast path), and the due flit lands on
+// precisely its due tick.
+func TestWireWatermark(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	n, _, _, _ := buildNet(t, topo)
+	n.SetLinkTicks(3)
+	if n.NextWireDue() != noWireDue {
+		t.Fatal("fresh network must report no due wire traffic")
+	}
+	src := topo.CoreAt(topo.RouterAt(0, 0), 0)
+	dst := topo.CoreAt(topo.RouterAt(2, 0), 0)
+	n.Inject(flit.New(1, src, dst, flit.Request, 0))
+	// Cycle only the source router until its head flit enters the wire.
+	sent := int64(-1)
+	for tick := int64(0); tick < 20; tick++ {
+		n.SetTick(tick)
+		n.RouterCycle(topo.RouterAt(0, 0))
+		if n.NextWireDue() != noWireDue {
+			sent = tick
+			break
+		}
+	}
+	if sent < 0 {
+		t.Fatal("no flit ever entered the wire")
+	}
+	if got := n.NextWireDue(); got != sent+3 {
+		t.Fatalf("watermark = %d after a send at tick %d with 3-tick links, want %d", got, sent, sent+3)
+	}
+	next := topo.RouterAt(1, 0)
+	// Before the due tick, DeliverDue must change nothing.
+	n.SetTick(sent + 1)
+	n.DeliverDue()
+	if n.NextWireDue() != sent+3 {
+		t.Fatal("early DeliverDue consumed the wire")
+	}
+	if !n.Routers[next].BuffersEmpty() {
+		t.Fatal("flit landed before its link latency elapsed")
+	}
+	// On the due tick the flit lands and the watermark resets.
+	n.SetTick(sent + 3)
+	n.DeliverDue()
+	if n.Routers[next].BuffersEmpty() {
+		t.Fatal("due flit did not land")
+	}
+	if n.NextWireDue() != noWireDue {
+		t.Fatalf("watermark = %d after the wire drained, want none", n.NextWireDue())
+	}
+}

@@ -231,19 +231,33 @@ type Stats struct {
 }
 
 // Controller drives the per-router PM state machines for one model.
+//
+// All per-router state (pm, offAcc) is owned by whichever engine shard
+// owns the router: during a concurrent sweep only that shard's goroutine
+// may call WakeRequest/Advance/FastForward/PostCycle for it. The activity
+// counters are the one piece of cross-router shared state, so they are
+// kept per stats lane (one lane per shard, see SetStatsLanes) and summed
+// on read.
 type Controller struct {
 	spec   Spec
 	pm     []routerPM
 	nv     NetView
 	now    timing.Tick
-	stats  Stats
+	stats  []Stats // one entry per stats lane, indexed by laneOf
+	laneOf []uint8 // stats lane of each router
 	offAcc []int64 // cumulative off ticks per router (Table IV feature 4)
 }
 
 // NewController builds a controller for numRouters routers.
 func NewController(numRouters int, spec Spec) *Controller {
 	spec = spec.withDefaults()
-	c := &Controller{spec: spec, pm: make([]routerPM, numRouters), offAcc: make([]int64, numRouters)}
+	c := &Controller{
+		spec:   spec,
+		pm:     make([]routerPM, numRouters),
+		stats:  make([]Stats, 1),
+		laneOf: make([]uint8, numRouters),
+		offAcc: make([]int64, numRouters),
+	}
 	for i := range c.pm {
 		c.pm[i] = routerPM{
 			state:  Active,
@@ -254,14 +268,48 @@ func NewController(numRouters int, spec Spec) *Controller {
 	return c
 }
 
+// SetStatsLanes splits the activity counters into one lane per shard so
+// concurrent sweeps never write the same counter word. starts[i] is the
+// first router ID of shard i (starts[0] must be 0); every router from
+// starts[i] up to the next start accrues into lane i. Counter placement
+// does not affect the summed Stats, so lane layout is invisible to
+// results.
+func (c *Controller) SetStatsLanes(starts []int) {
+	if len(starts) == 0 || starts[0] != 0 {
+		panic("policy: stats lanes must start at router 0")
+	}
+	c.stats = make([]Stats, len(starts))
+	lane := 0
+	for r := range c.laneOf {
+		for lane+1 < len(starts) && r >= starts[lane+1] {
+			lane++
+		}
+		c.laneOf[r] = uint8(lane)
+	}
+}
+
 // SetNetView attaches the network view; required before Advance.
 func (c *Controller) SetNetView(nv NetView) { c.nv = nv }
 
 // Spec returns the model specification.
 func (c *Controller) Spec() Spec { return c.spec }
 
-// Stats returns accumulated statistics.
-func (c *Controller) Stats() Stats { return c.stats }
+// Stats returns accumulated statistics, summed across stats lanes.
+func (c *Controller) Stats() Stats {
+	var s Stats
+	for i := range c.stats {
+		l := &c.stats[i]
+		s.Gatings += l.Gatings
+		s.Wakes += l.Wakes
+		s.BreakevenMet += l.BreakevenMet
+		s.ModeSwitches += l.ModeSwitches
+		s.EpochDecisions += l.EpochDecisions
+		for m := range l.ModeDecisions {
+			s.ModeDecisions[m] += l.ModeDecisions[m]
+		}
+	}
+	return s
+}
 
 // State returns a router's power state.
 func (c *Controller) State(routerID int) State { return c.pm[routerID].state }
@@ -319,9 +367,10 @@ func (c *Controller) WakeRequest(routerID int) {
 	pm.wakeLeft = costs.TWakeup
 	pm.domain.SetFreq(power.FreqMHz(pm.mode))
 	pm.domain.Reset()
-	c.stats.Wakes++
+	st := &c.stats[c.laneOf[routerID]]
+	st.Wakes++
 	if timing.CyclesIn(timing.Tick(offDur), power.FreqMHz(pm.mode)) >= int64(costs.TBreakeven) {
-		c.stats.BreakevenMet++
+		st.BreakevenMet++
 	}
 }
 
@@ -398,7 +447,9 @@ func (c *Controller) TicksToNextEvent(routerID int) int64 {
 // no securing claims can be taken off the per-tick schedule entirely
 // and caught up in closed form (FastForward) when it is next touched.
 // Dormant(r) is equivalent to TicksToNextEvent(r) == NoEvent but avoids
-// the integer division on the hot path.
+// the integer division on the hot path. An Active power-gating router
+// counting down to idle gating is NOT dormant — the engine defers those
+// separately by re-arming at the gating tick (see IdleGatingOnly).
 func (c *Controller) Dormant(routerID int) bool {
 	pm := &c.pm[routerID]
 	switch pm.state {
@@ -411,6 +462,20 @@ func (c *Controller) Dormant(routerID int) bool {
 	}
 }
 
+// IdleGatingOnly reports whether the router's only pending autonomous
+// transition is its idle-gating countdown: an Active router of a
+// power-gating model, not paused for a voltage switch. Such a router is
+// not Dormant — left alone and idle it gates itself after TIdle local
+// cycles — but it is still deferrable: the engine can take it off the
+// schedule and re-arm it at exactly the tick TicksToNextEvent predicts
+// the gating to fire, catching it up with FastForward (whose idle-cycle
+// accrual replicates PostCycle on an idle router) when that tick, or any
+// earlier wake, arrives.
+func (c *Controller) IdleGatingOnly(routerID int) bool {
+	pm := &c.pm[routerID]
+	return c.spec.PowerGating && pm.state == Active && pm.switchLeft == 0
+}
+
 // FastForward advances the router's state machine by delta base ticks in
 // one step — the exact closed form of delta Advance calls on a quiescent
 // network. The caller must bound delta so that no transition fires inside
@@ -419,6 +484,10 @@ func (c *Controller) Dormant(routerID int) bool {
 // switch pause), so the engine can advance the router's cycle counter and
 // replicate the per-cycle PostCycle idle accounting; 0 for all other
 // states.
+//
+// FastForward touches only the router's own state machine, so during a
+// concurrent sweep each engine shard may catch up its own routers in
+// parallel.
 func (c *Controller) FastForward(routerID int, delta int64) int64 {
 	pm := &c.pm[routerID]
 	switch pm.state {
@@ -462,7 +531,7 @@ func (c *Controller) PostCycle(routerID int) {
 		pm.state = Inactive
 		pm.offSince = c.now
 		pm.idleCycles = 0
-		c.stats.Gatings++
+		c.stats[c.laneOf[routerID]].Gatings++
 	}
 }
 
@@ -475,14 +544,15 @@ func (c *Controller) EpochBoundary(routerID int, ibu float64, feats []float64) {
 		return
 	}
 	m := c.spec.Selector.SelectMode(routerID, ibu, feats)
-	c.stats.EpochDecisions++
-	c.stats.ModeDecisions[m.Index()]++
+	st := &c.stats[c.laneOf[routerID]]
+	st.EpochDecisions++
+	st.ModeDecisions[m.Index()]++
 	if m == pm.mode {
 		return
 	}
 	// Begin a voltage/frequency switch: pause for T-Switch cycles of the
 	// new clock, billing static power at the higher of the two modes.
-	c.stats.ModeSwitches++
+	st.ModeSwitches++
 	old := pm.mode
 	pm.mode = m
 	pm.switchLeft = vr.CostsFor(m).TSwitch

@@ -225,6 +225,11 @@ func (r *Router) Occupancy() (occupied, total int) {
 // Occupied returns the occupied-slot aggregate alone (O(1)).
 func (r *Router) Occupied() int { return r.occupied }
 
+// LocalCycle exposes the local cycle counter. A router deferred by the
+// active-set scheduler lags here until caught up, so epoch-boundary
+// probes can detect a missed catch-up barrier (DESIGN.md §5b).
+func (r *Router) LocalCycle() int64 { return r.localCycle }
+
 // RecountOccupancy recomputes the occupied-slot count the slow way, by
 // walking every input VC queue. It exists so tests (and debugging
 // invariant checks) can prove the incremental aggregate returned by

@@ -12,19 +12,59 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/flit"
 	"repro/internal/mcsim"
+	"repro/internal/ml"
+	"repro/internal/network"
 	"repro/internal/policy"
 	"repro/internal/sim"
+	"repro/internal/timing"
 	"repro/internal/topology"
+	"repro/internal/traffic"
 )
 
-// zeroSchedulingDiagnostics clears the two Result fields that are
-// allowed to differ between scheduling strategies: which ticks were
-// covered by the global fast-forward versus the per-router lazy path is
-// a property of the engine's schedule, not of the simulated hardware.
+// zeroSchedulingDiagnostics clears the Result fields that are allowed
+// to differ between scheduling strategies: which ticks were covered by
+// the global fast-forward, the per-router lazy path, or a concurrent
+// sweep is a property of the engine's schedule, not of the simulated
+// hardware.
 func zeroSchedulingDiagnostics(r *sim.Result) {
 	r.FastForwardedTicks = 0
 	r.LazySkippedRouterTicks = 0
+	r.ParallelTicks = 0
+}
+
+// shardCounts are the shard widths the sharded-equivalence checks replay
+// each configuration under, per the acceptance criteria.
+var shardCounts = []int{1, 2, 4}
+
+// runShardedVariant re-executes one configuration with an explicit shard
+// count and the parallel-sweep threshold floored, so concurrent sweeps
+// engage whenever the quiet-margin predicate admits them.
+func runShardedVariant(t *testing.T, s *core.Suite, kind core.ModelKind, trace string, collect bool, shards int) *sim.Result {
+	t.Helper()
+	spec, err := s.Spec(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Trace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Topo:           s.Topo,
+		Spec:           spec,
+		Trace:          tr,
+		CollectDataset: collect,
+		CollectSeries:  collect,
+		Shards:         shards,
+		ShardMinActive: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 // runActiveSetPair executes one configuration with default scheduling
@@ -88,6 +128,16 @@ func TestActiveSetEquivalence(t *testing.T) {
 				if !reflect.DeepEqual(lazy, eager) {
 					t.Errorf("active-set result differs from eager tick-by-tick:\nlazy:  %+v\neager: %+v", lazy, eager)
 				}
+				// The sharded engine must be bit-exact with the serial
+				// reference for every shard count, whether or not any tick
+				// actually swept concurrently.
+				for _, k := range shardCounts {
+					sharded := runShardedVariant(t, s, kind, trace, false, k)
+					zeroSchedulingDiagnostics(sharded)
+					if !reflect.DeepEqual(sharded, eager) {
+						t.Errorf("Shards=%d result differs from eager serial:\nsharded: %+v\neager:   %+v", k, sharded, eager)
+					}
+				}
 			})
 		}
 	}
@@ -116,6 +166,19 @@ func TestActiveSetEquivalenceCollecting(t *testing.T) {
 			}
 			if !reflect.DeepEqual(lazy, eager) {
 				t.Errorf("active-set result differs from eager tick-by-tick:\nlazy:  %+v\neager: %+v", lazy, eager)
+			}
+			for _, k := range shardCounts {
+				sharded := runShardedVariant(t, s, kind, "blackscholes", true, k)
+				zeroSchedulingDiagnostics(sharded)
+				if !reflect.DeepEqual(sharded.Dataset, eager.Dataset) {
+					t.Errorf("Shards=%d harvested dataset differs from serial", k)
+				}
+				if !reflect.DeepEqual(sharded.Series, eager.Series) {
+					t.Errorf("Shards=%d epoch series differs from serial", k)
+				}
+				if !reflect.DeepEqual(sharded, eager) {
+					t.Errorf("Shards=%d result differs from eager serial:\nsharded: %+v\neager:   %+v", k, sharded, eager)
+				}
 			}
 		})
 	}
@@ -147,17 +210,19 @@ func TestActiveSetEquivalenceClosedLoop(t *testing.T) {
 	params := mcsim.DefaultSystem(topo)
 	params.Core.Instructions = 20_000
 
-	run := func(eager bool) (*sim.Result, mcsim.Stats) {
+	run := func(eager bool, shards int) (*sim.Result, mcsim.Stats) {
 		w, err := mcsim.New(params)
 		if err != nil {
 			t.Fatal(err)
 		}
 		res, err := sim.Run(sim.Config{
-			Topo:          topo,
-			Spec:          policy.DozzNoC(policy.ReactiveSelector{}),
-			Workload:      w,
-			NoActiveSet:   eager,
-			NoFastForward: eager,
+			Topo:           topo,
+			Spec:           policy.DozzNoC(policy.ReactiveSelector{}),
+			Workload:       w,
+			NoActiveSet:    eager,
+			NoFastForward:  eager,
+			Shards:         shards,
+			ShardMinActive: -1,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -167,8 +232,8 @@ func TestActiveSetEquivalenceClosedLoop(t *testing.T) {
 		}
 		return res, w.Stats()
 	}
-	lazy, lazyStats := run(false)
-	eager, eagerStats := run(true)
+	lazy, lazyStats := run(false, 1)
+	eager, eagerStats := run(true, 1)
 	if lazy.LazySkippedRouterTicks == 0 {
 		t.Error("active-set deferral never engaged on the closed-loop workload")
 	}
@@ -179,5 +244,172 @@ func TestActiveSetEquivalenceClosedLoop(t *testing.T) {
 	}
 	if !reflect.DeepEqual(lazyStats, eagerStats) {
 		t.Errorf("workload stats differ:\nlazy:  %+v\neager: %+v", lazyStats, eagerStats)
+	}
+	// Closed-loop injection reacts to deliveries, so a sharded sweep that
+	// reordered deliveries or staged counter folds wrongly would feed back
+	// into the workload's own statistics — both must stay bit-exact.
+	for _, k := range []int{2, 4} {
+		sharded, shardedStats := run(false, k)
+		zeroSchedulingDiagnostics(sharded)
+		if !reflect.DeepEqual(sharded, eager) {
+			t.Errorf("Shards=%d closed-loop result differs from serial:\nsharded: %+v\nserial:  %+v", k, sharded, eager)
+		}
+		if !reflect.DeepEqual(shardedStats, eagerStats) {
+			t.Errorf("Shards=%d workload stats differ:\nsharded: %+v\nserial:  %+v", k, shardedStats, eagerStats)
+		}
+	}
+}
+
+// bandedTrace keeps the top two and bottom two router rows of a mesh
+// exchanging row-local traffic for the whole horizon while everything in
+// between stays silent. With row-aligned shards the busy bands sit deep
+// inside the first and last shard, every boundary margin stays inert,
+// and the quiet-margin predicate admits concurrent sweeps on nearly
+// every tick — the geometry the sharded engine is built for.
+func bandedTrace(topo topology.Topology, horizon int64) *traffic.Trace {
+	width, rows := topo.Width(), topo.Height()
+	band := func(row0 int) []int {
+		cores := make([]int, 0, 2*width)
+		for row := row0; row < row0+2; row++ {
+			for x := 0; x < width; x++ {
+				cores = append(cores, topo.CoreAt(topo.RouterAt(x, row), 0))
+			}
+		}
+		return cores
+	}
+	top, bottom := band(0), band(rows-2)
+	tr := &traffic.Trace{Name: "banded", Cores: topo.NumCores(), Horizon: horizon}
+	for t, i := int64(0), 0; t < horizon; t, i = t+2, i+1 {
+		tr.Entries = append(tr.Entries,
+			traffic.Entry{Time: t, Src: top[i%len(top)], Dst: top[(i+3)%len(top)], Kind: flit.Request},
+			traffic.Entry{Time: t, Src: bottom[i%len(bottom)], Dst: bottom[(i+5)%len(bottom)], Kind: flit.Request})
+	}
+	return tr
+}
+
+// TestShardedSweepEngagesAndMatchesSerial drives a mesh tall enough for
+// real shard interiors (8x16: at Shards=4 each shard owns four rows)
+// with banded traffic that keeps two distant shards busy at once, and
+// requires both that concurrent sweeps actually engage (ParallelTicks >
+// 0 — without this the bit-exactness checks would be vacuous) and that
+// every model's Result is deeply equal to the serial engine's.
+func TestShardedSweepEngagesAndMatchesSerial(t *testing.T) {
+	topo := topology.NewMesh(8, 16)
+	tr := bandedTrace(topo, 20_000)
+	s := core.NewSuite(topo, core.Options{Horizon: 20_000, Seed: 3})
+	for _, k := range core.MLKinds {
+		s.SetTrainedModel(k, &ml.Ridge{Weights: []float64{0, 0, 0, 0, 1}})
+	}
+	for _, kind := range core.AllKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			runK := func(shards int) *sim.Result {
+				spec, err := s.Spec(kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.Run(sim.Config{
+					Topo:           topo,
+					Spec:           spec,
+					Trace:          tr,
+					Shards:         shards,
+					ShardMinActive: -1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			serial := runK(1)
+			if serial.ParallelTicks != 0 {
+				t.Fatalf("Shards=1 run counted %d parallel ticks", serial.ParallelTicks)
+			}
+			zeroSchedulingDiagnostics(serial)
+			for _, k := range []int{2, 4} {
+				sharded := runK(k)
+				if sharded.ParallelTicks == 0 {
+					t.Errorf("Shards=%d never swept concurrently on banded traffic", k)
+				}
+				zeroSchedulingDiagnostics(sharded)
+				if !reflect.DeepEqual(sharded, serial) {
+					t.Errorf("Shards=%d result differs from serial:\nsharded: %+v\nserial:  %+v", k, sharded, serial)
+				}
+			}
+		})
+	}
+}
+
+// probeSample is one occupancy observation made through the public
+// feature-extractor hook.
+type probeSample struct {
+	Router   int
+	Tick     int64
+	Occupied int
+	Cycle    int64
+}
+
+// probeExtractor wraps a real extractor and records, at every
+// epoch-boundary Collect call, the router's occupancy aggregate and
+// local cycle counter — the state DESIGN.md §5b says must never be
+// sampled while a router is deferred and behind.
+type probeExtractor struct {
+	inner sim.FeatureExtractor
+	log   []probeSample
+}
+
+func (p *probeExtractor) Collect(routerID int, net *network.Network, ctrl *policy.Controller, ibu float64, now timing.Tick) []float64 {
+	p.log = append(p.log, probeSample{
+		Router:   routerID,
+		Tick:     int64(now),
+		Occupied: net.Routers[routerID].Occupied(),
+		Cycle:    net.Routers[routerID].LocalCycle(),
+	})
+	return p.inner.Collect(routerID, net, ctrl, ibu, now)
+}
+
+// TestEpochBarrierGuardsOccupancySampling is the regression test for the
+// §5b barrier precondition: the only path the public API offers for
+// sampling a router's occupancy mid-run is the epoch-boundary extractor
+// hook, and every observation it yields must come from fully caught-up
+// state. A lazily scheduled run (deferral + fast-forward + arming all
+// engaged) must produce the identical observation log — occupancy AND
+// local cycle counters — as a fully eager run; a missed catchUpAll would
+// leave a deferred router's cycle counter behind and diverge the log.
+// (Inside the engine the same precondition is asserted outright: the
+// epoch boundary panics if any router's catch-up tick lags the epoch
+// tick.)
+func TestEpochBarrierGuardsOccupancySampling(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	p, ok := traffic.ProfileByName("fft")
+	if !ok {
+		t.Fatal("unknown profile fft")
+	}
+	g := traffic.Generator{Topo: topo, Horizon: 8000, Seed: 3}
+	tr := g.Generate(p)
+	run := func(eager bool) (*probeExtractor, *sim.Result) {
+		probe := &probeExtractor{inner: features.NewExtractor(topo)}
+		res, err := sim.Run(sim.Config{
+			Topo:          topo,
+			Spec:          policy.DozzNoC(policy.ReactiveSelector{}),
+			Trace:         tr,
+			Extractor:     probe,
+			NoActiveSet:   eager,
+			NoFastForward: eager,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return probe, res
+	}
+	lazyProbe, lazyRes := run(false)
+	eagerProbe, _ := run(true)
+	if lazyRes.LazySkippedRouterTicks == 0 {
+		t.Fatal("active-set deferral never engaged; the probe proves nothing")
+	}
+	if len(lazyProbe.log) == 0 {
+		t.Fatal("extractor hook never fired")
+	}
+	if !reflect.DeepEqual(lazyProbe.log, eagerProbe.log) {
+		t.Errorf("epoch-boundary occupancy observations diverge between lazy and eager runs (%d vs %d samples): a deferred router was sampled without the catch-up barrier", len(lazyProbe.log), len(eagerProbe.log))
 	}
 }

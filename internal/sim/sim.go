@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"runtime"
+	"sync"
 
 	"repro/internal/features"
 	"repro/internal/flit"
@@ -34,6 +36,10 @@ const (
 	DefaultPipeline   = 3
 	DefaultEpochTicks = 500
 	DefaultPunchHops  = -1
+	// DefaultShardMinActive is the active-set size below which a sharded
+	// engine sweeps serially: with few routers scheduled, barrier cost
+	// dominates any concurrency win.
+	DefaultShardMinActive = 32
 )
 
 // Config describes one simulation run.
@@ -86,8 +92,27 @@ type Config struct {
 	// up with the same integer closed forms — so the knob exists for the
 	// equivalence proofs and as a debugging escape hatch. Unlike the
 	// quiescent-window fast-forward, active-set scheduling also engages
-	// for closed-loop workloads.
+	// for closed-loop workloads. Forces Shards to 1 (the eager sweep is
+	// the single-goroutine reference semantics).
 	NoActiveSet bool
+	// Shards partitions the mesh into contiguous row-aligned router
+	// ranges that sweep concurrently inside a base tick whenever the
+	// rows straddling every shard boundary are provably isolated (empty,
+	// unsecured). Results are bit-identical for any shard count — ticks
+	// that cannot be proven isolated sweep serially, and concurrent
+	// sweeps stage shared-state effects into per-shard lanes replayed in
+	// the serial order (DESIGN.md §5c). 0 selects min(GOMAXPROCS, rows);
+	// 1 disables concurrency. Clamped to the router-row count. Forced to
+	// 1 when NoActiveSet is set or Pipeline < 2 (a 1-cycle pipeline lets
+	// a flit cross two links in one tick, defeating the boundary-margin
+	// isolation argument).
+	Shards int
+	// ShardMinActive is the minimum active-set size before a tick is
+	// swept concurrently (barrier cost dominates below it). 0 selects
+	// DefaultShardMinActive; negative means 1 (always attempt), which
+	// the equivalence tests use to maximize parallel coverage on small
+	// meshes.
+	ShardMinActive int
 }
 
 // Workload is a closed-loop traffic source (e.g. the mcsim multicore
@@ -156,6 +181,24 @@ func (c *Config) applyDefaults() error {
 			c.MaxTicks = DefaultWorkloadMaxTicks
 		}
 	}
+	rows := c.Topo.Height()
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards > rows {
+		c.Shards = rows
+	}
+	if c.Shards > 255 {
+		c.Shards = 255 // shard IDs are stored as uint8
+	}
+	if c.Shards < 1 || c.NoActiveSet || c.Pipeline < 2 {
+		c.Shards = 1
+	}
+	if c.ShardMinActive == 0 {
+		c.ShardMinActive = DefaultShardMinActive
+	} else if c.ShardMinActive < 0 {
+		c.ShardMinActive = 1
+	}
 	return nil
 }
 
@@ -178,6 +221,12 @@ type Result struct {
 	// like FastForwardedTicks: equivalence tests zero both before
 	// comparing Results.
 	LazySkippedRouterTicks int64
+	// ParallelTicks counts base ticks whose active-set sweep ran
+	// concurrently across shards (0 when Shards is 1, or when no tick
+	// ever satisfied the boundary-isolation predicate). Diagnostic only,
+	// like FastForwardedTicks: it varies with the shard count while
+	// every other field is bit-identical.
+	ParallelTicks int64
 
 	PacketsInjected  int64
 	PacketsDelivered int64
@@ -226,6 +275,112 @@ func (r *Result) EDP() float64 {
 // TotalJ returns total energy.
 func (r *Result) TotalJ() float64 { return r.StaticJ + r.DynamicJ }
 
+// span is a half-open router-ID range.
+type span struct{ lo, hi int }
+
+// shardState is one contiguous row-aligned partition of the router ID
+// space. Every field is owned by the shard: during a concurrent sweep
+// only the shard's goroutine touches it (the boundary-isolation predicate
+// guarantees no cross-shard calls), and outside sweeps the engine
+// goroutine owns everything.
+type shardState struct {
+	lo, hi int // router ID range [lo, hi)
+
+	// active is the shard's slice of the active-set bitset: bit i of
+	// word w is router lo + 64*w + i. Separate per-shard words keep
+	// concurrent sweeps from sharing cache lines or racing on a word
+	// that spans a shard boundary.
+	active []uint64
+	// loopPos is the sweep cursor: shard routers with ID < loopPos have
+	// been stepped this tick. Reset to lo before each tick's serial
+	// phase, hi after the shard's sweep.
+	loopPos int
+	// ids is the scratch buffer for fast-forward membership sweeps,
+	// reused across ticks.
+	ids []int
+
+	lazyTicks int64 // router-ticks covered by deferred catch-up
+
+	// Arm min-heap (parallel arrays, keyed by armT): deferred routers
+	// whose only pending event is their idle-gating countdown, keyed by
+	// the absolute tick that countdown fires (satellite re-arm path; see
+	// engine.arm).
+	armT []int64
+	armR []int32
+
+	work chan int64 // parallel sweep trigger; nil until workers start
+
+	_ [64]byte // pad: keep neighboring shards off one cache line
+}
+
+// Per-shard active-set bitset primitives.
+func (s *shardState) inSet(r int) bool {
+	i := r - s.lo
+	return s.active[i>>6]&(1<<uint(i&63)) != 0
+}
+func (s *shardState) setBit(r int) {
+	i := r - s.lo
+	s.active[i>>6] |= 1 << uint(i&63)
+}
+func (s *shardState) clearBit(r int) {
+	i := r - s.lo
+	s.active[i>>6] &^= 1 << uint(i&63)
+}
+
+// activeIDs appends the IDs of the shard's active-set routers, ascending.
+func (s *shardState) activeIDs(buf []int) []int {
+	for wi, w := range s.active {
+		base := s.lo + wi<<6
+		for w != 0 {
+			buf = append(buf, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return buf
+}
+
+// armPush inserts (at, r) into the arm heap.
+func (s *shardState) armPush(at int64, r int) {
+	s.armT = append(s.armT, at)
+	s.armR = append(s.armR, int32(r))
+	i := len(s.armT) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.armT[p] <= s.armT[i] {
+			break
+		}
+		s.armT[p], s.armT[i] = s.armT[i], s.armT[p]
+		s.armR[p], s.armR[i] = s.armR[i], s.armR[p]
+		i = p
+	}
+}
+
+// armPop removes and returns the earliest heap entry.
+func (s *shardState) armPop() (int64, int) {
+	at, r := s.armT[0], int(s.armR[0])
+	last := len(s.armT) - 1
+	s.armT[0], s.armR[0] = s.armT[last], s.armR[last]
+	s.armT, s.armR = s.armT[:last], s.armR[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if rc := l + 1; rc < last && s.armT[rc] < s.armT[l] {
+			m = rc
+		}
+		if s.armT[i] <= s.armT[m] {
+			break
+		}
+		s.armT[i], s.armT[m] = s.armT[m], s.armT[i]
+		s.armR[i], s.armR[m] = s.armR[m], s.armR[i]
+		i = m
+	}
+	return at, r
+}
+
 // engine ties network, controller and meters together for one run.
 type engine struct {
 	cfg   Config
@@ -244,41 +399,30 @@ type engine struct {
 	sumLatency int64
 	nLatency   int64
 
-	ffTicks int64 // ticks covered by the fast-forward path
+	ffTicks       int64 // ticks covered by the fast-forward path
+	parallelTicks int64 // ticks swept concurrently across shards
 
-	// Active-set scheduling state (see DESIGN.md §5b). A router is in the
-	// active set iff the per-tick loop must visit it: it has buffered
+	// Active-set scheduling state (see DESIGN.md §5b/§5c). A router is in
+	// the active set iff the per-tick loop must visit it: it has buffered
 	// flits, holds securing claims, or has a pending autonomous power
-	// transition (wakeup/switch countdown, idle-gating countdown).
-	// Deferred routers are dormant — nothing about them changes per tick
-	// except residency billing and clock-domain phase — so they are
-	// caught up in closed form when next touched.
+	// transition. Deferred routers change nothing per tick except
+	// residency billing and clock-domain phase, so they are caught up in
+	// closed form when next touched; deferred routers whose idle-gating
+	// countdown is still pending additionally sit on their shard's arm
+	// heap and rejoin the schedule at exactly the gating tick.
 	lazy      bool
-	active    []uint64 // bitset of routers the per-tick loop visits
-	lastTick  []int64  // per router: first tick not yet accounted
-	loopPos   int      // routers with ID < loopPos were stepped this tick
-	curTick   int64    // tick currently being processed
-	ffIDs     []int    // scratch: active IDs during a fast-forward jump
-	lazyTicks int64    // router-ticks covered by deferred catch-up
+	shards    []shardState
+	shardOf   []uint8 // owning shard of each router
+	lastTick  []int64 // per router: first tick not yet accounted
+	armTick   []int64 // per router: tick it is armed to rejoin at, -1 if none
+	curTick   int64   // tick currently being processed
+	margins   []span  // boundary margin routers, must be inert to sweep concurrently
+	minActive int     // resolved ShardMinActive
+
+	wg        sync.WaitGroup
+	workersUp bool
 
 	nextID uint64
-}
-
-// Active-set bitset primitives.
-func (e *engine) inSet(r int) bool { return e.active[r>>6]&(1<<uint(r&63)) != 0 }
-func (e *engine) setBit(r int)     { e.active[r>>6] |= 1 << uint(r&63) }
-func (e *engine) clearBit(r int)   { e.active[r>>6] &^= 1 << uint(r&63) }
-
-// activeIDs appends the IDs of all active-set routers, ascending.
-func (e *engine) activeIDs(buf []int) []int {
-	for wi, w := range e.active {
-		base := wi << 6
-		for w != 0 {
-			buf = append(buf, base+bits.TrailingZeros64(w))
-			w &= w - 1
-		}
-	}
-	return buf
 }
 
 // canDefer reports whether a router may leave the active set: no
@@ -291,13 +435,63 @@ func (e *engine) canDefer(r int) bool {
 	return e.ctrl.Dormant(r) && e.net.Routers[r].BuffersEmpty() && !e.net.Secured(r)
 }
 
+// canArm reports whether a non-dormant router may still be deferred by
+// re-arming: idle, unsecured, and its only pending autonomous event is
+// the idle-gating countdown, whose firing tick TicksToNextEvent predicts
+// exactly (the router's clock phase cannot drift while deferred — only
+// catch-up advances it, by the same closed form eager ticking uses).
+func (e *engine) canArm(r int) bool {
+	return e.ctrl.IdleGatingOnly(r) && e.net.Routers[r].BuffersEmpty() && !e.net.Secured(r)
+}
+
+// arm schedules a deferred idle-countdown router to rejoin the schedule
+// at the tick its gating fires. next is the next tick that will be
+// processed from the router's perspective (tick+1 when arming from a
+// sweep, the boundary tick from refreshActive); the router's next local
+// cycle fires TicksToNextEvent ticks after that.
+func (e *engine) arm(s *shardState, r int, next int64) {
+	at := next + e.ctrl.TicksToNextEvent(r)
+	if e.armTick[r] == at {
+		return // still armed for the same tick; reuse the heap entry
+	}
+	e.armTick[r] = at
+	s.armPush(at, r)
+}
+
+// popArms moves every router armed for this tick back onto the schedule,
+// caught up through the ticks it sat out; its pending gating then fires
+// during the normal sweep of this tick, exactly as eager stepping would
+// have fired it. Entries whose armTick no longer matches are stale — the
+// router was woken early (WakeRequest cleared armTick) or re-armed — and
+// are discarded. A matching entry with an earlier tick means the engine
+// skipped past a scheduled event, which would silently corrupt the
+// closed-form catch-up, so it panics.
+func (e *engine) popArms(tick int64) {
+	for si := range e.shards {
+		s := &e.shards[si]
+		for len(s.armT) > 0 && s.armT[0] <= tick {
+			at, r := s.armPop()
+			if e.armTick[r] != at {
+				continue
+			}
+			if at != tick {
+				panic(fmt.Sprintf("sim: router %d armed for tick %d popped at tick %d", r, at, tick))
+			}
+			e.armTick[r] = -1
+			e.catchUpTo(r, tick)
+			s.setBit(r)
+		}
+	}
+}
+
 // catchUpTo replays the deferred window [lastTick[r], target) for a
 // router in closed form: batched static billing at its (constant)
 // billing state, zero occupancy contribution (its buffers were empty
 // throughout), and clock-domain/cycle-counter advancement. Exactness
 // rests on the same arguments as the quiescent-window fast-forward
 // (DESIGN.md §5a): the meter counts integer residency ticks, and a
-// dormant router's billing state cannot change inside the window.
+// deferred router's billing state cannot change inside the window (an
+// armed router's window ends no later than its gating tick).
 func (e *engine) catchUpTo(r int, target int64) {
 	delta := target - e.lastTick[r]
 	if delta <= 0 {
@@ -308,7 +502,7 @@ func (e *engine) catchUpTo(r int, target int64) {
 	if cycles := e.ctrl.FastForward(r, delta); cycles > 0 {
 		e.net.Routers[r].SkipCycles(cycles)
 	}
-	e.lazyTicks += delta
+	e.shards[e.shardOf[r]].lazyTicks += delta
 	e.lastTick[r] = target
 }
 
@@ -324,16 +518,26 @@ func (e *engine) catchUpAll(target int64) {
 }
 
 // refreshActive recomputes active-set membership for every router. It
-// runs after each epoch-boundary sweep, which can start voltage
-// switches on routers that were deferred (the selector runs for all
-// active-state routers, scheduled or not); those must re-arm onto the
-// schedule until the switch completes.
-func (e *engine) refreshActive() {
-	for r := range e.lastTick {
-		if e.canDefer(r) {
-			e.clearBit(r)
-		} else {
-			e.setBit(r)
+// runs at engine start (from = 0) and after each epoch-boundary sweep
+// (from = the boundary tick), which can start voltage switches on
+// routers that were deferred (the selector runs for all active-state
+// routers, scheduled or not); those must re-arm onto the schedule until
+// the switch completes. Routers whose only pending event is the
+// idle-gating countdown are deferred with an arm at the gating tick.
+func (e *engine) refreshActive(from int64) {
+	for si := range e.shards {
+		s := &e.shards[si]
+		for r := s.lo; r < s.hi; r++ {
+			if e.canDefer(r) {
+				e.armTick[r] = -1
+				s.clearBit(r)
+			} else if e.canArm(r) {
+				e.arm(s, r, from)
+				s.clearBit(r)
+			} else {
+				e.armTick[r] = -1
+				s.setBit(r)
+			}
 		}
 	}
 }
@@ -372,35 +576,136 @@ func (e *engine) CanAccept(routerID int) bool { return e.ctrl.CanAccept(routerID
 // deferred router is first caught up (billing its deferred window at
 // the pre-wake state and restoring its clock phase/cycle counter, which
 // AcceptFlit's ReadyCycle stamp depends on), then re-enters the
-// schedule, and only then does the controller see the wake.
+// schedule — cancelling any pending arm — and only then does the
+// controller see the wake.
+//
+// During a concurrent sweep the boundary-isolation predicate guarantees
+// every call targets a router of the calling shard, so the per-shard
+// state touched here is owner-only.
 func (e *engine) WakeRequest(routerID int) {
-	if e.lazy && !e.inSet(routerID) {
-		target := e.curTick
-		if routerID < e.loopPos {
-			// The eager sweep already passed this router's slot for the
-			// current tick; in an all-eager run it would have been
-			// stepped this tick in its still-deferred state, so the
-			// closed form covers the current tick too and the router
-			// rejoins the schedule from the next tick.
-			target++
+	if e.lazy {
+		s := &e.shards[e.shardOf[routerID]]
+		if !s.inSet(routerID) {
+			target := e.curTick
+			if routerID < s.loopPos {
+				// The sweep already passed this router's slot for the
+				// current tick; in an all-eager run it would have been
+				// stepped this tick in its still-deferred state, so the
+				// closed form covers the current tick too and the router
+				// rejoins the schedule from the next tick.
+				target++
+			}
+			e.armTick[routerID] = -1
+			e.catchUpTo(routerID, target)
+			s.setBit(routerID)
 		}
-		e.catchUpTo(routerID, target)
-		e.setBit(routerID)
 	}
 	e.ctrl.WakeRequest(routerID)
 }
 
 // stepRouter runs one router's per-tick work: static billing, IBU
-// accumulation, and the power-state machine with a network cycle when
-// the router's clock fires.
-func (e *engine) stepRouter(r int) {
+// accumulation, and the power-state machine with a network cycle (staged
+// through the shard's lane) when the router's clock fires.
+func (e *engine) stepRouter(r, shard int) {
 	mode, wt := e.ctrl.BillingState(r)
 	e.meter[r].AddStatic(mode, wt, 1)
 	e.ibuNum[r] += int64(e.net.Routers[r].Occupied())
 	if e.ctrl.Advance(r) {
-		e.net.RouterCycle(r)
+		e.net.CycleRouter(r, shard)
 		e.ctrl.PostCycle(r)
 	}
+}
+
+// sweepShard steps the shard's active-set routers in ascending router
+// order (the order the eager sweep uses). Re-reading the bitset word
+// after each step picks up routers activated mid-sweep at a higher ID —
+// they are stepped this tick, exactly like the eager sweep would — while
+// routers activated at an ID already passed were caught up through this
+// tick at activation.
+func (e *engine) sweepShard(si int, tick int64) {
+	s := &e.shards[si]
+	for wi := range s.active {
+		base := s.lo + wi<<6
+		w := s.active[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			r := base + b
+			s.loopPos = r
+			e.stepRouter(r, si)
+			e.lastTick[r] = tick + 1
+			if e.canDefer(r) {
+				s.clearBit(r)
+			} else if e.canArm(r) {
+				e.arm(s, r, tick+1)
+				s.clearBit(r)
+			}
+			w = s.active[wi] & (^uint64(0) << uint(b+1))
+		}
+	}
+	s.loopPos = s.hi
+}
+
+// parallelOK decides whether this tick's sweep may run concurrently: the
+// active set must be large enough to amortize the barrier, and every
+// router in the two rows on each side of every shard boundary must be
+// inert (empty and unsecured; evaluated after this tick's wire landings
+// and injections). Inert margin rows isolate the shards for one tick:
+// any router that can move a flit is then at least two rows from a
+// boundary, its neighbors (one row away) are all in-shard, a flit it
+// moves lands one row further in at most, and — with Pipeline >= 2 — a
+// freshly landed flit cannot move again this tick, so the farthest
+// effect is a securing claim on the boundary's own-side row. In-flight
+// wire traffic toward a margin row cannot be missed: its destination
+// holds a securing claim until the tail lands, which makes the row
+// non-inert. See DESIGN.md §5c for the full argument.
+func (e *engine) parallelOK() bool {
+	if len(e.shards) == 1 {
+		return false
+	}
+	n := 0
+	for si := range e.shards {
+		for _, w := range e.shards[si].active {
+			n += bits.OnesCount64(w)
+		}
+	}
+	if n < e.minActive {
+		return false
+	}
+	for _, m := range e.margins {
+		for r := m.lo; r < m.hi; r++ {
+			if !e.net.Inert(r) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// startWorkers spawns one sweep goroutine per shard beyond the first;
+// shard 0 always sweeps on the engine goroutine. Workers are started
+// lazily at the first concurrent tick so serial runs never pay for them.
+func (e *engine) startWorkers() {
+	for si := 1; si < len(e.shards); si++ {
+		s := &e.shards[si]
+		s.work = make(chan int64, 1)
+		go func(si int, s *shardState) {
+			for t := range s.work {
+				e.sweepShard(si, t)
+				e.wg.Done()
+			}
+		}(si, s)
+	}
+	e.workersUp = true
+}
+
+func (e *engine) stopWorkers() {
+	if !e.workersUp {
+		return
+	}
+	for si := 1; si < len(e.shards); si++ {
+		close(e.shards[si].work)
+	}
+	e.workersUp = false
 }
 
 // Run executes one simulation.
@@ -416,6 +721,7 @@ func Run(cfg Config) (*Result, error) {
 		ibuNum:  make([]int64, nR),
 		pending: make([][]float64, nR),
 	}
+	defer e.stopWorkers()
 	// The engine, not the controller, is the network's PowerView: its
 	// WakeRequest wrapper is the active-set activation hook.
 	e.net = network.New(cfg.Topo, cfg.VCs, cfg.Depth, cfg.Pipeline, e, e, e)
@@ -438,10 +744,53 @@ func Run(cfg Config) (*Result, error) {
 	_, slots := e.net.Routers[0].Occupancy()
 	e.slotsPerR = int64(slots)
 
+	// Shard layout: contiguous row-aligned router ranges, rows spread as
+	// evenly as K divides them. With K = 1 this is one shard covering
+	// the mesh and the sweep is exactly the serial engine.
+	width, rows := cfg.Topo.Width(), cfg.Topo.Height()
+	k := cfg.Shards
+	e.shards = make([]shardState, k)
+	e.shardOf = make([]uint8, nR)
+	e.minActive = cfg.ShardMinActive
+	laneStarts := make([]int, k)
+	row := 0
+	for si := 0; si < k; si++ {
+		h := rows / k
+		if si < rows%k {
+			h++
+		}
+		s := &e.shards[si]
+		s.lo, s.hi = row*width, (row+h)*width
+		s.active = make([]uint64, (s.hi-s.lo+63)/64)
+		s.loopPos = s.lo
+		laneStarts[si] = s.lo
+		for r := s.lo; r < s.hi; r++ {
+			e.shardOf[r] = uint8(si)
+		}
+		row += h
+	}
+	// Boundary margins: the two rows on each side of every shard start.
+	for si := 1; si < k; si++ {
+		f := e.shards[si].lo / width
+		r0, r1 := f-2, f+2
+		if r0 < 0 {
+			r0 = 0
+		}
+		if r1 > rows {
+			r1 = rows
+		}
+		e.margins = append(e.margins, span{r0 * width, r1 * width})
+	}
+	e.net.SetShards(k)
+	e.ctrl.SetStatsLanes(laneStarts)
+
 	e.lazy = !cfg.NoActiveSet
 	if e.lazy {
-		e.active = make([]uint64, (nR+63)/64)
 		e.lastTick = make([]int64, nR)
+		e.armTick = make([]int64, nR)
+		for r := range e.armTick {
+			e.armTick[r] = -1
+		}
 		// Initial membership mirrors the steady-state invariant: only
 		// routers that cannot defer (e.g. a spec whose initial power state
 		// has a pending transition) start on the schedule. Idle dormant
@@ -450,7 +799,7 @@ func Run(cfg Config) (*Result, error) {
 		// active set free of deferrable members at every fast-forward
 		// check, so LazySkippedRouterTicks is identical with fast-forward
 		// on or off.
-		e.refreshActive()
+		e.refreshActive(0)
 	}
 
 	var entries []traffic.Entry
@@ -491,27 +840,40 @@ func Run(cfg Config) (*Result, error) {
 			if e.lazy {
 				// Deferred routers are dormant (no pending autonomous
 				// event) by the active-set invariant, so only schedule
-				// members can bound the window, and only they need
-				// advancing: deferred routers stay behind and are caught
-				// up against the jumped clock when next touched.
-				e.ffIDs = e.activeIDs(e.ffIDs[:0])
-				for _, r := range e.ffIDs {
-					if delta <= 0 {
-						break
+				// members and armed gating ticks can bound the window, and
+				// only schedule members need advancing: deferred routers
+				// stay behind and are caught up against the jumped clock
+				// when next touched. An armed router's gating tick must be
+				// processed normally, so the jump stops there (stale heap
+				// heads only make the bound conservative).
+				for si := range e.shards {
+					s := &e.shards[si]
+					s.ids = s.activeIDs(s.ids[:0])
+					if len(s.armT) > 0 {
+						if b := s.armT[0] - tick; b < delta {
+							delta = b
+						}
 					}
-					if ev := e.ctrl.TicksToNextEvent(r); ev < delta {
-						delta = ev
+					for _, r := range s.ids {
+						if delta <= 0 {
+							break
+						}
+						if ev := e.ctrl.TicksToNextEvent(r); ev < delta {
+							delta = ev
+						}
 					}
 				}
 				if delta > 0 {
-					for _, r := range e.ffIDs {
-						mode, wt := e.ctrl.BillingState(r)
-						e.meter[r].AddStatic(mode, wt, delta)
-						// Occupancy is zero while quiescent: ibuNum unchanged.
-						if cycles := e.ctrl.FastForward(r, delta); cycles > 0 {
-							e.net.Routers[r].SkipCycles(cycles)
+					for si := range e.shards {
+						for _, r := range e.shards[si].ids {
+							mode, wt := e.ctrl.BillingState(r)
+							e.meter[r].AddStatic(mode, wt, delta)
+							// Occupancy is zero while quiescent: ibuNum unchanged.
+							if cycles := e.ctrl.FastForward(r, delta); cycles > 0 {
+								e.net.Routers[r].SkipCycles(cycles)
+							}
+							e.lastTick[r] += delta
 						}
-						e.lastTick[r] += delta
 					}
 				}
 			} else {
@@ -542,7 +904,12 @@ func Run(cfg Config) (*Result, error) {
 		e.ctrl.SetNow(timing.Tick(tick))
 		e.net.SetTick(tick)
 		e.curTick = tick
-		e.loopPos = 0
+		if e.lazy {
+			for si := range e.shards {
+				e.shards[si].loopPos = e.shards[si].lo
+			}
+			e.popArms(tick)
+		}
 		e.net.DeliverDue()
 		for cursor < len(entries) && entries[cursor].Time <= tick {
 			en := entries[cursor]
@@ -553,33 +920,32 @@ func Run(cfg Config) (*Result, error) {
 			cfg.Workload.Tick(tick, injectNow)
 		}
 		if e.lazy {
-			// Visit only the active set, in ascending router order (the
-			// same order the eager sweep uses). Re-reading the bitset word
-			// after each step picks up routers activated mid-sweep at a
-			// higher ID — they are stepped this tick, exactly like the
-			// eager sweep would — while routers activated at an ID already
-			// passed were caught up through this tick at activation.
-			for wi := range e.active {
-				base := wi << 6
-				w := e.active[wi]
-				for w != 0 {
-					b := bits.TrailingZeros64(w)
-					r := base + b
-					e.loopPos = r
-					e.stepRouter(r)
-					e.lastTick[r] = tick + 1
-					if e.canDefer(r) {
-						e.clearBit(r)
-					}
-					w = e.active[wi] & (^uint64(0) << uint(b+1))
+			if e.parallelOK() {
+				if !e.workersUp {
+					e.startWorkers()
+				}
+				e.wg.Add(len(e.shards) - 1)
+				for si := 1; si < len(e.shards); si++ {
+					e.shards[si].work <- tick
+				}
+				e.sweepShard(0, tick)
+				e.wg.Wait()
+				e.parallelTicks++
+			} else {
+				for si := range e.shards {
+					e.sweepShard(si, tick)
 				}
 			}
-			e.loopPos = nR
 		} else {
 			for r := 0; r < nR; r++ {
-				e.stepRouter(r)
+				e.stepRouter(r, 0)
 			}
 		}
+		// Fold every shard's staged network effects (wire appends,
+		// deliveries, counters) in deterministic shard-then-router order;
+		// the aggregate reads below (InFlight, epoch snapshots) require
+		// committed state.
+		e.net.Commit()
 		if (tick+1)%cfg.EpochTicks == 0 {
 			if e.lazy {
 				// Catch-up barrier: epoch IBU, feature vectors, series
@@ -588,7 +954,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			e.epochBoundary(timing.Tick(tick + 1))
 			if e.lazy {
-				e.refreshActive()
+				e.refreshActive(tick + 1)
 			}
 		}
 		sourceDone := cursor >= len(entries)
@@ -636,6 +1002,18 @@ func (e *engine) punchPath(srcCore, dstCore int) {
 // labels the previous epoch's pending features, collects new features and
 // runs the mode selector.
 func (e *engine) epochBoundary(now timing.Tick) {
+	if e.lazy {
+		// The §5b barrier precondition, asserted: every router must be
+		// fully caught up before any epoch aggregate (IBU, features,
+		// meter sums) is read. Sampling a deferred router's occupancy
+		// mid-epoch without catchUpAll silently reads a stale window;
+		// this turns that bug into a loud failure.
+		for r := range e.lastTick {
+			if e.lastTick[r] != int64(now) {
+				panic(fmt.Sprintf("sim: epoch boundary at tick %d with router %d caught up only to tick %d — catchUpAll barrier missed (DESIGN.md §5b)", int64(now), r, e.lastTick[r]))
+			}
+		}
+	}
 	den := float64(e.slotsPerR) * float64(e.cfg.EpochTicks)
 	var sample stats.EpochSample
 	sumIBU := 0.0
@@ -678,13 +1056,18 @@ func (e *engine) result(ticks int64, drained bool) *Result {
 	if e.cfg.Trace != nil {
 		traceName = e.cfg.Trace.Name
 	}
+	var lazyTicks int64
+	for si := range e.shards {
+		lazyTicks += e.shards[si].lazyTicks
+	}
 	res := &Result{
 		Model:                  e.cfg.Spec.Name,
 		Trace:                  traceName,
 		Ticks:                  ticks,
 		Drained:                drained,
 		FastForwardedTicks:     e.ffTicks,
-		LazySkippedRouterTicks: e.lazyTicks,
+		LazySkippedRouterTicks: lazyTicks,
+		ParallelTicks:          e.parallelTicks,
 		PacketsInjected:        e.net.PacketsInjected(),
 		PacketsDelivered:       e.net.PacketsDelivered(),
 		FlitsDelivered:         e.net.FlitsDelivered(),
