@@ -21,11 +21,12 @@ race:
 	$(GO) test -race ./...
 
 # The sharded-equivalence race gate, runnable on its own: the concurrent
-# tick engine's bit-exactness proofs (DESIGN.md §5c) under the race
-# detector, fast enough to fail a sharding bug before the full race
-# sweep runs.
+# tick engine's bit-exactness proofs (DESIGN.md §5c-5d) under the race
+# detector — concurrent sweeps plus the destination-shard wire-landing
+# path under banded and randomized heavy traffic — fast enough to fail a
+# sharding bug before the full race sweep runs.
 race-sharded:
-	$(GO) test -race -run 'TestShardedSweepEngagesAndMatchesSerial|TestActiveSetEquivalence' ./internal/sim
+	$(GO) test -race -run 'TestShardedSweepEngagesAndMatchesSerial|TestParallelLandings|TestActiveSetEquivalence' ./internal/sim
 
 # Benchmark snapshot: the JSON log (test2json stream) goes to
 # $(BENCH_FILE) for later comparison; the human-readable text is echoed
@@ -49,11 +50,14 @@ bench-compare:
 
 # Benchmark regression gate: rerun the scheduling benchmarks and compare
 # against the committed baseline (newest BENCH_*.json unless BASE= is
-# given), failing on >10% mean ns/op regression via cmd/benchtxt -gate.
-GATE_BENCHES = BenchmarkHotspot|BenchmarkBigMesh|BenchmarkMediumLoad
+# given), failing on >10% regression of the min-of-runs ns/op via
+# cmd/benchtxt -gate (min, not mean, so a noisy runner needs every run
+# disturbed to trip it; raise COUNT for more samples per benchmark).
+GATE_BENCHES = BenchmarkHotspot|BenchmarkBigMesh|BenchmarkBigMeshWire|BenchmarkMediumLoad
+COUNT ?= 1
 bench-gate:
 	@test -n "$(BASE)" || { echo "bench-gate: no BENCH_*.json baseline found (set BASE=)"; exit 2; }
-	$(GO) test -bench='$(GATE_BENCHES)' -benchmem -json . > .bench-gate.json
+	$(GO) test -bench='$(GATE_BENCHES)' -benchmem -count=$(COUNT) -json . > .bench-gate.json
 	$(GO) run ./cmd/benchtxt -gate -pattern '$(GATE_BENCHES)' -max-regress 10 $(BASE) .bench-gate.json
 
 # CI entry point: vet + full tests + sharded-equivalence race gate +

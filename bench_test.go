@@ -372,6 +372,39 @@ func BenchmarkBigMesh(b *testing.B) {
 	}
 }
 
+// BenchmarkBigMeshWire is BenchmarkBigMesh with 2-tick links, so every
+// hop rides the wire and each concurrently swept tick also carries due
+// landings. The shards=1 sub-benchmark is the serial reference (lane-0
+// landings); at shards>1 the due transits are bucketed by destination
+// shard and landed by the workers, so the delta over BenchmarkBigMesh
+// isolates what moving landings off the serial fraction buys.
+func BenchmarkBigMeshWire(b *testing.B) {
+	topo := topology.NewMesh(16, 32)
+	tr := bigMeshTrace(topo, 10_000)
+	run := func(b *testing.B, shards int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(sim.Config{
+				Topo:      topo,
+				Spec:      policy.DozzNoC(policy.ReactiveSelector{}),
+				Trace:     tr,
+				LinkTicks: 2,
+				Shards:    shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if shards > 1 && res.ParallelLandings == 0 {
+				b.Fatal("parallel landing path never engaged")
+			}
+		}
+	}
+	for _, k := range []int{1, 2, 4} {
+		k := k
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) { run(b, k) })
+	}
+}
+
 // BenchmarkRidgeFit measures the closed-form ridge solve on a dataset the
 // size of one full training corpus row count.
 func BenchmarkRidgeFit(b *testing.B) {

@@ -14,10 +14,18 @@
 //
 // With -gate it becomes a CI regression gate: like -compare, but the
 // benchmark set can be restricted with -pattern (a regexp on benchmark
-// names) and the exit status is nonzero if any matched benchmark's mean
-// ns/op regressed by more than -max-regress percent (`make bench-gate`):
+// names) and the exit status is nonzero if any matched benchmark
+// regressed by more than -max-regress percent (`make bench-gate`):
 //
 //	benchtxt -gate -pattern '^BenchmarkHotspot' -max-regress 10 BENCH_base.json BENCH_new.json
+//
+// The gate statistic is the MINIMUM ns/op across a benchmark's runs, not
+// the mean: logs recorded with `-count=N` carry N samples per benchmark,
+// scheduler noise on shared runners only ever adds time, and the fastest
+// run is the closest observation of the code's true cost. A single slow
+// outlier therefore cannot trip the gate (it would dominate a mean), and
+// when a benchmark does trip, every new-side run is printed with its
+// delta against the base minimum so the log shows which runs drove it.
 package main
 
 import (
@@ -98,10 +106,26 @@ func dumpText(path string) error {
 
 // result is one benchmark's aggregated measurements.
 type result struct {
-	runs   int
-	nsOp   float64 // summed, averaged at report time
-	bOp    float64
-	allocs float64
+	runs    int
+	nsOp    float64 // summed, averaged at report time
+	bOp     float64
+	allocs  float64
+	samples []float64 // per-run ns/op, in log order (-count=N gives N)
+}
+
+// mean is the average ns/op across runs — the -compare statistic.
+func (r *result) mean() float64 { return r.nsOp / float64(r.runs) }
+
+// min is the fastest run's ns/op — the -gate statistic (robust to noisy
+// runners: interference only ever slows a run down).
+func (r *result) min() float64 {
+	m := r.samples[0]
+	for _, s := range r.samples[1:] {
+		if s < m {
+			m = s
+		}
+	}
+	return m
 }
 
 // parseBench collects per-benchmark means keyed by name (GOMAXPROCS
@@ -134,6 +158,7 @@ func parseBench(path string) (map[string]*result, error) {
 		}
 		r.runs++
 		r.nsOp += nsOp
+		r.samples = append(r.samples, nsOp)
 		if v, ok := metric(fields, "B/op"); ok {
 			r.bOp += v
 		}
@@ -189,8 +214,7 @@ func compareFiles(oldPath, newPath string) error {
 	}
 	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	for _, name := range names {
-		o := oldR[name].nsOp / float64(oldR[name].runs)
-		n := newR[name].nsOp / float64(newR[name].runs)
+		o, n := oldR[name].mean(), newR[name].mean()
 		fmt.Printf("%-50s %14.0f %14.0f %+7.1f%%\n", name, o, n, 100*(n-o)/o)
 	}
 	return nil
@@ -198,8 +222,11 @@ func compareFiles(oldPath, newPath string) error {
 
 // gateFiles compares base against new like compareFiles, restricted to
 // benchmarks matching pattern, and fails if any regressed beyond
-// maxRegress percent mean ns/op. Benchmarks present on only one side are
-// ignored (new benchmarks have no baseline; retired ones gate nothing).
+// maxRegress percent on the min-of-runs ns/op (see the package comment
+// for why min, not mean). For every benchmark that trips, each new-side
+// run is printed with its delta against the base minimum. Benchmarks
+// present on only one side are ignored (new benchmarks have no baseline;
+// retired ones gate nothing).
 func gateFiles(basePath, newPath, pattern string, maxRegress float64) error {
 	re, err := regexp.Compile(pattern)
 	if err != nil {
@@ -223,11 +250,10 @@ func gateFiles(basePath, newPath, pattern string, maxRegress float64) error {
 	if len(names) == 0 {
 		return fmt.Errorf("no common benchmarks matching %q between %s and %s", pattern, basePath, newPath)
 	}
-	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "base min", "new min", "delta")
 	var failed []string
 	for _, name := range names {
-		b := baseR[name].nsOp / float64(baseR[name].runs)
-		n := newR[name].nsOp / float64(newR[name].runs)
+		b, n := baseR[name].min(), newR[name].min()
 		delta := 100 * (n - b) / b
 		verdict := ""
 		if delta > maxRegress {
@@ -235,10 +261,20 @@ func gateFiles(basePath, newPath, pattern string, maxRegress float64) error {
 			failed = append(failed, name)
 		}
 		fmt.Printf("%-50s %14.0f %14.0f %+7.1f%%%s\n", name, b, n, delta, verdict)
+		if verdict != "" {
+			for i, s := range newR[name].samples {
+				mark := ""
+				if s == n {
+					mark = "  <- min"
+				}
+				fmt.Printf("    new run %d/%d: %.0f ns/op (%+.1f%% vs base min)%s\n",
+					i+1, newR[name].runs, s, 100*(s-b)/b, mark)
+			}
+		}
 	}
 	if len(failed) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s", len(failed), maxRegress, strings.Join(failed, ", "))
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% on min-of-runs ns/op: %s", len(failed), maxRegress, strings.Join(failed, ", "))
 	}
-	fmt.Printf("gate passed: %d benchmark(s) within %.0f%% of %s\n", len(names), maxRegress, basePath)
+	fmt.Printf("gate passed: %d benchmark(s) within %.0f%% of %s (min of runs)\n", len(names), maxRegress, basePath)
 	return nil
 }

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeLog writes a synthetic test2json benchmark log. Each benchmark
+// line is split into two output events — the name chunk ending in a tab,
+// then the measurements — the way `go test -json` actually emits them,
+// so the tests also exercise chunk reassembly.
+func writeLog(t *testing.T, path string, lines ...string) {
+	t.Helper()
+	var sb strings.Builder
+	emit := func(out string) {
+		b, err := json.Marshal(event{Action: "output", Output: out})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	emit("goos: linux\n")
+	for _, line := range lines {
+		name, rest, _ := strings.Cut(line, "\t")
+		emit(name + "\t")
+		emit(rest + "\n")
+	}
+	emit("PASS\n")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseBenchAggregatesCountRuns pins -count=N handling: repeated
+// lines of one benchmark (with a GOMAXPROCS suffix) aggregate under one
+// stripped name, keeping every per-run sample for the min statistic.
+func TestParseBenchAggregatesCountRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	writeLog(t, path,
+		"BenchmarkMesh-8\t 100\t 1200 ns/op\t 64 B/op\t 2 allocs/op",
+		"BenchmarkMesh-8\t 100\t 1000 ns/op\t 64 B/op\t 2 allocs/op",
+		"BenchmarkMesh-8\t 100\t 1100 ns/op\t 64 B/op\t 2 allocs/op",
+	)
+	res, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res["BenchmarkMesh"]
+	if r == nil {
+		t.Fatalf("GOMAXPROCS suffix not stripped; got keys %v", keys(res))
+	}
+	if r.runs != 3 || len(r.samples) != 3 {
+		t.Fatalf("runs=%d samples=%d, want 3 and 3", r.runs, len(r.samples))
+	}
+	if got := r.mean(); got != 1100 {
+		t.Errorf("mean = %v, want 1100", got)
+	}
+	if got := r.min(); got != 1000 {
+		t.Errorf("min = %v, want 1000", got)
+	}
+}
+
+// TestGateMinIgnoresNoisySpike is the satellite's point: two of three
+// new-side runs are badly disturbed (a mean gate would read +93% and
+// trip), but the fastest run is within tolerance, so the gate passes.
+func TestGateMinIgnoresNoisySpike(t *testing.T) {
+	dir := t.TempDir()
+	base, new := filepath.Join(dir, "base.json"), filepath.Join(dir, "new.json")
+	writeLog(t, base,
+		"BenchmarkMesh-8\t 100\t 1000 ns/op",
+	)
+	writeLog(t, new,
+		"BenchmarkMesh-8\t 100\t 2900 ns/op",
+		"BenchmarkMesh-8\t 100\t 1050 ns/op",
+		"BenchmarkMesh-8\t 100\t 1850 ns/op",
+	)
+	if err := gateFiles(base, new, "", 10); err != nil {
+		t.Errorf("min-based gate tripped on a noisy spike: %v", err)
+	}
+}
+
+// TestGateTripsOnRealRegression: when even the fastest new run is beyond
+// tolerance, the gate fails and names the offending benchmark; a second
+// benchmark within tolerance does not appear in the failure.
+func TestGateTripsOnRealRegression(t *testing.T) {
+	dir := t.TempDir()
+	base, new := filepath.Join(dir, "base.json"), filepath.Join(dir, "new.json")
+	writeLog(t, base,
+		"BenchmarkMesh-8\t 100\t 1000 ns/op",
+		"BenchmarkHotspot-8\t 100\t 500 ns/op",
+	)
+	writeLog(t, new,
+		"BenchmarkMesh-8\t 100\t 1400 ns/op",
+		"BenchmarkMesh-8\t 100\t 1300 ns/op",
+		"BenchmarkHotspot-8\t 100\t 510 ns/op",
+	)
+	err := gateFiles(base, new, "", 10)
+	if err == nil {
+		t.Fatal("gate passed a +30% min-of-runs regression")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkMesh") {
+		t.Errorf("failure does not name the regressed benchmark: %v", err)
+	}
+	if strings.Contains(err.Error(), "BenchmarkHotspot") {
+		t.Errorf("failure names a benchmark that did not regress: %v", err)
+	}
+}
+
+// TestGatePatternRestrictsSet: the -pattern regexp excludes non-matching
+// benchmarks from the gate entirely, so a regression outside the pattern
+// does not fail the build.
+func TestGatePatternRestrictsSet(t *testing.T) {
+	dir := t.TempDir()
+	base, new := filepath.Join(dir, "base.json"), filepath.Join(dir, "new.json")
+	writeLog(t, base,
+		"BenchmarkMesh-8\t 100\t 1000 ns/op",
+		"BenchmarkHotspot-8\t 100\t 500 ns/op",
+	)
+	writeLog(t, new,
+		"BenchmarkMesh-8\t 100\t 5000 ns/op",
+		"BenchmarkHotspot-8\t 100\t 505 ns/op",
+	)
+	if err := gateFiles(base, new, "^BenchmarkHotspot", 10); err != nil {
+		t.Errorf("pattern-restricted gate tripped on an excluded benchmark: %v", err)
+	}
+}
+
+func keys(m map[string]*result) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -40,7 +40,7 @@ func main() {
 		rate       = flag.Float64("rate", 0.01, "injection rate for -pattern (packets/core/tick)")
 		series     = flag.String("series", "", "write a per-epoch time-series CSV to this file")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
-		shards     = flag.Int("shards", 0, "tick-engine shards (0 = min(GOMAXPROCS, mesh rows), 1 = serial sweep; results are bit-identical)")
+		shards     = flag.Int("shards", 0, "tick-engine shards (0 = min(GOMAXPROCS, CPUs, mesh rows) — serial on a single-CPU host, pass a count >1 to force sharding there; 1 = serial sweep; results are bit-identical)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)

@@ -36,10 +36,11 @@ func ParseTopo(name string) (topology.Topology, error) {
 }
 
 // ParseShards validates a -shards flag value: 0 selects the engine's
-// automatic default (min(GOMAXPROCS, mesh router rows)), positive values
-// request that many row-aligned tick-engine shards (clamped to the row
-// count by the engine), and negatives are rejected. Results are
-// bit-identical for every accepted value.
+// automatic default (min(GOMAXPROCS, NumCPU, mesh router rows) — so a
+// single-CPU host runs the serial sweep unless a count >1 is passed
+// explicitly), positive values request that many row-aligned tick-engine
+// shards (clamped to the row count by the engine), and negatives are
+// rejected. Results are bit-identical for every accepted value.
 func ParseShards(n int) (int, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("cli: -shards must be >= 0, got %d", n)

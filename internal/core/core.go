@@ -89,8 +89,9 @@ type Options struct {
 	Parallel bool
 
 	// Shards is the per-simulation tick-engine shard count (sim.Config
-	// Shards): 0 auto-sizes to min(GOMAXPROCS, mesh rows), 1 forces the
-	// serial sweep. Bit-identical results for any value.
+	// Shards): 0 auto-sizes to min(GOMAXPROCS, NumCPU, mesh rows) —
+	// serial on a single-CPU host — and 1 forces the serial sweep.
+	// Bit-identical results for any value.
 	Shards int
 }
 

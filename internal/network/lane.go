@@ -36,6 +36,7 @@ type lane struct {
 	n *Network
 
 	wire  []transit  // staged wire appends (merged FIFO at Commit)
+	pend  []transit  // due transits bucketed for this shard (StageDueLandings)
 	deliv []delivery // staged delivery callbacks
 
 	// Aggregate counter deltas, folded into the Network at Commit.
@@ -90,18 +91,31 @@ func (l *lane) injectCore(r *router.Router, core, localPort int) {
 	n := l.n
 	st := &n.inj[core]
 	if st.flits == nil {
-		if len(st.queue) == 0 {
+		if st.qhead == len(st.queue) {
 			return
 		}
-		p := st.queue[0]
+		p := st.queue[st.qhead]
 		// Claim a VC in the packet's message class with room for the head.
 		vc, ok := n.pickInjVC(r, localPort, p.Kind)
 		if !ok {
 			return
 		}
-		st.queue = st.queue[1:]
-		if len(st.queue) == 0 {
-			st.queue = nil
+		// Pop like the wire FIFO: zero the slot so the delivered (and
+		// pool-recycled) packet is not pinned by the backing array, and
+		// compact once the dead prefix reaches the live length.
+		st.queue[st.qhead] = nil
+		st.qhead++
+		if st.qhead == len(st.queue) {
+			st.queue = st.queue[:0]
+			st.qhead = 0
+		} else if st.qhead >= len(st.queue)-st.qhead {
+			m := copy(st.queue, st.queue[st.qhead:])
+			tail := st.queue[m:]
+			for i := range tail {
+				tail[i] = nil
+			}
+			st.queue = st.queue[:m]
+			st.qhead = 0
 		}
 		st.flits = l.pool.GetFlits(p)
 		st.nextSeq = 0

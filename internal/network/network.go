@@ -63,8 +63,13 @@ type transit struct {
 }
 
 // injState serializes one core's packets into its router's local port.
+// The source queue is a head-indexed FIFO like the wire: the live window
+// is queue[qhead:], popped slots are zeroed so delivered (pool-recycled)
+// packets are not pinned by the backing array, and the window compacts
+// once the dead prefix reaches the live length.
 type injState struct {
 	queue   []*flit.Packet
+	qhead   int
 	flits   []*flit.Flit // flits of the packet currently being injected
 	nextSeq int
 	vc      int // VC claimed for the in-flight packet, -1 if none
@@ -85,8 +90,17 @@ type Network struct {
 	// linkTicks is the inter-router wire latency in base ticks; 0 means
 	// flits arrive within the sending cycle.
 	linkTicks int64
-	wire      []transit // FIFO: all sends at tick t arrive at t+linkTicks
-	wireNext  int64     // deliverAt of the wire head, noWireDue when empty
+	// wire is the in-flight transit FIFO: all sends at tick t arrive at
+	// t+linkTicks, so append order is delivery order. The live window is
+	// wire[wireHead:len(wire)] — popping zeroes the vacated slot (so
+	// recycled flits are not pinned by the backing array) and advances
+	// wireHead; compactWire slides the window back to the front whenever
+	// the dead prefix reaches the live length, which amortizes to O(1)
+	// per transit and bounds the backing array by the peak in-flight
+	// population instead of letting it grow with total traffic.
+	wire     []transit
+	wireHead int
+	wireNext int64 // deliverAt of the wire head, noWireDue when empty
 
 	inj     []injState
 	secured []int // securing count per router
@@ -162,6 +176,7 @@ func (n *Network) SetShards(k int) {
 	for i := range n.lanes {
 		n.lanes[i].n = n
 		n.lanes[i].wire = make([]transit, 0, 32)
+		n.lanes[i].pend = make([]transit, 0, 32)
 		n.lanes[i].deliv = make([]delivery, 0, 16)
 	}
 }
@@ -193,24 +208,91 @@ func (n *Network) DeliverDue() {
 	if n.now < n.wireNext {
 		return
 	}
-	for len(n.wire) > 0 && n.wire[0].deliverAt <= n.now {
-		t := n.wire[0]
-		n.wire = n.wire[1:]
-		if len(n.wire) == 0 {
-			n.wire = nil
-		}
+	for n.wireHead < len(n.wire) && n.wire[n.wireHead].deliverAt <= n.now {
+		t := n.wire[n.wireHead]
+		n.wire[n.wireHead] = transit{}
+		n.wireHead++
 		n.lanes[0].land(t.dst, t.inPort, t.vc, t.f)
 	}
+	n.compactWire()
 	n.updateWireNext()
 }
+
+// StageDueLandings removes every due transit from the wire and buckets
+// it, in FIFO order, into the staging lane of its destination's shard
+// (shardOf[dst]). The engine calls it instead of DeliverDue on ticks
+// whose sweep runs concurrently; each shard worker then lands its own
+// bucket with LandPending before sweeping. Watermark maintenance is
+// identical to DeliverDue — the due prefix leaves the wire here, on the
+// engine goroutine, so NextWireDue is current before any worker runs.
+// Returns the number of transits staged.
+func (n *Network) StageDueLandings(shardOf []uint8) int {
+	if n.now < n.wireNext {
+		return 0
+	}
+	staged := 0
+	for n.wireHead < len(n.wire) && n.wire[n.wireHead].deliverAt <= n.now {
+		t := n.wire[n.wireHead]
+		n.wire[n.wireHead] = transit{}
+		n.wireHead++
+		l := &n.lanes[shardOf[t.dst]]
+		l.pend = append(l.pend, t)
+		staged++
+	}
+	n.compactWire()
+	n.updateWireNext()
+	return staged
+}
+
+// LandPending lands shard's staged due transits in wire-FIFO order
+// through the shard's own lane, then clears the bucket. Under the
+// engine's quiet-margin predicate every effect of a landing — the
+// AcceptFlit at the destination, the securing claim on the packet's next
+// hop, the wake requests both raise — stays inside the destination's
+// shard (DESIGN.md §5d), so distinct shards may land concurrently.
+func (n *Network) LandPending(shard int) {
+	l := &n.lanes[shard]
+	for i := range l.pend {
+		t := l.pend[i]
+		l.pend[i] = transit{}
+		l.land(t.dst, t.inPort, t.vc, t.f)
+	}
+	l.pend = l.pend[:0]
+}
+
+// compactWire reclaims the popped prefix of the wire FIFO once it reaches
+// the live length (amortized O(1) per transit); a fully drained wire
+// resets in place so the backing array is reused.
+func (n *Network) compactWire() {
+	if n.wireHead == 0 {
+		return
+	}
+	if n.wireHead == len(n.wire) {
+		n.wire = n.wire[:0]
+		n.wireHead = 0
+		return
+	}
+	if n.wireHead >= len(n.wire)-n.wireHead {
+		m := copy(n.wire, n.wire[n.wireHead:])
+		tail := n.wire[m:]
+		for i := range tail {
+			tail[i] = transit{}
+		}
+		n.wire = n.wire[:m]
+		n.wireHead = 0
+	}
+}
+
+// wireLen returns the number of in-flight wire transits.
+func (n *Network) wireLen() int { return len(n.wire) - n.wireHead }
 
 // updateWireNext recomputes the watermark from the wire head. The wire is
 // FIFO with a constant link latency, so the head is the minimum.
 func (n *Network) updateWireNext() {
-	if len(n.wire) == 0 {
+	if n.wireHead == len(n.wire) {
 		n.wireNext = noWireDue
 	} else {
-		n.wireNext = n.wire[0].deliverAt
+		n.wireNext = n.wire[n.wireHead].deliverAt
 	}
 }
 
@@ -245,7 +327,7 @@ func (n *Network) Inject(p *flit.Packet) {
 // at a core.
 func (n *Network) QueuedPackets(core int) int {
 	st := &n.inj[core]
-	q := len(st.queue)
+	q := len(st.queue) - st.qhead
 	if st.flits != nil {
 		q++
 	}
@@ -267,7 +349,7 @@ func (n *Network) TotalQueued() int {
 // differ exactly while any flit is buffered or on a wire. Only current
 // between Commits.
 func (n *Network) InFlight() bool {
-	return len(n.wire) > 0 || n.flitsInjected != n.flitsDelivered || n.queuedPackets > 0
+	return n.wireLen() > 0 || n.flitsInjected != n.flitsDelivered || n.queuedPackets > 0
 }
 
 // Quiescent reports whether nothing is in motion or pending anywhere in
@@ -277,7 +359,7 @@ func (n *Network) InFlight() bool {
 // a wake punch and no flit can move, so the engine may fast-forward time.
 // Only current between Commits.
 func (n *Network) Quiescent() bool {
-	return len(n.wire) == 0 && n.flitsInjected == n.flitsDelivered &&
+	return n.wireLen() == 0 && n.flitsInjected == n.flitsDelivered &&
 		n.queuedPackets == 0 && n.securedTotal == 0
 }
 

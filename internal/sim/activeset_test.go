@@ -33,6 +33,7 @@ func zeroSchedulingDiagnostics(r *sim.Result) {
 	r.FastForwardedTicks = 0
 	r.LazySkippedRouterTicks = 0
 	r.ParallelTicks = 0
+	r.ParallelLandings = 0
 }
 
 // shardCounts are the shard widths the sharded-equivalence checks replay

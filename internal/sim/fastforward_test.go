@@ -136,6 +136,7 @@ func TestFastForwardEquivalence(t *testing.T) {
 				// Whether a tick swept concurrently is likewise a schedule
 				// property (and the skipped ticks never sweep at all).
 				ff.ParallelTicks, slow.ParallelTicks = 0, 0
+				ff.ParallelLandings, slow.ParallelLandings = 0, 0
 				if !reflect.DeepEqual(ff, slow) {
 					t.Errorf("fast-forward result differs from tick-by-tick:\nfast: %+v\nslow: %+v", ff, slow)
 				}
@@ -158,6 +159,7 @@ func TestFastForwardEquivalenceCollecting(t *testing.T) {
 			ff, slow := runPair(t, s, kind, "blackscholes", true)
 			ff.FastForwardedTicks = 0
 			ff.ParallelTicks, slow.ParallelTicks = 0, 0
+			ff.ParallelLandings, slow.ParallelLandings = 0, 0
 			if !reflect.DeepEqual(ff.Dataset, slow.Dataset) {
 				t.Error("harvested datasets differ between fast-forward and tick-by-tick")
 			}

@@ -1,0 +1,169 @@
+// Sharded wire-landing equivalence harness. PR 4 moved due wire transits
+// off the serial lane-0 landing path: on concurrently swept ticks the
+// engine buckets each due transit by its destination router's shard and
+// the shard workers land their own buckets before sweeping. These tests
+// prove the parallel landing path engages under wire latency and stays
+// bit-exact against the serial engine, for every model kind, under both
+// the deterministic banded workload and a randomized heavy-traffic one.
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/ml"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// randomBandedTrace is the randomized counterpart of bandedTrace: the top
+// two and bottom two router rows exchange row-band-local traffic, but
+// sources, destinations, packet kinds and per-tick burst sizes are drawn
+// from a seeded PRNG, so the wire carries an irregular, heavy mix of
+// 1-flit requests and multi-flit responses instead of a fixed cadence.
+// The silent middle rows keep every shard-boundary margin inert, which is
+// what lets the sharded engine sweep (and now land) concurrently.
+func randomBandedTrace(topo topology.Topology, horizon int64, seed int64) *traffic.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	width, rows := topo.Width(), topo.Height()
+	band := func(row0 int) []int {
+		cores := make([]int, 0, 2*width)
+		for row := row0; row < row0+2; row++ {
+			for x := 0; x < width; x++ {
+				cores = append(cores, topo.CoreAt(topo.RouterAt(x, row), 0))
+			}
+		}
+		return cores
+	}
+	bands := [][]int{band(0), band(rows - 2)}
+	kinds := []flit.Kind{flit.Request, flit.Request, flit.Response}
+	tr := &traffic.Trace{Name: "random-banded", Cores: topo.NumCores(), Horizon: horizon}
+	for t := int64(0); t < horizon; t++ {
+		for _, cores := range bands {
+			for burst := rng.Intn(3); burst > 0; burst-- {
+				si := rng.Intn(len(cores))
+				src := cores[si]
+				dst := cores[(si+1+rng.Intn(len(cores)-1))%len(cores)]
+				tr.Entries = append(tr.Entries, traffic.Entry{
+					Time: t, Src: src, Dst: dst, Kind: kinds[rng.Intn(len(kinds))],
+				})
+			}
+		}
+	}
+	return tr
+}
+
+// TestParallelLandingsEngageAndMatchSerial is the acceptance test for the
+// destination-shard landing path: an 8x16 mesh with 2-tick links and
+// banded traffic, every model kind, Shards in {1,2,4}. Each sharded run
+// must both land transits in parallel (ParallelLandings > 0 — without
+// wire latency and concurrent ticks coinciding the equivalence check
+// would be vacuous) and produce a Result deeply equal to the serial
+// engine's.
+func TestParallelLandingsEngageAndMatchSerial(t *testing.T) {
+	topo := topology.NewMesh(8, 16)
+	tr := bandedTrace(topo, 20_000)
+	s := core.NewSuite(topo, core.Options{Horizon: 20_000, Seed: 3})
+	for _, k := range core.MLKinds {
+		s.SetTrainedModel(k, &ml.Ridge{Weights: []float64{0, 0, 0, 0, 1}})
+	}
+	for _, kind := range core.AllKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			runK := func(shards int) *sim.Result {
+				spec, err := s.Spec(kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.Run(sim.Config{
+					Topo:           topo,
+					Spec:           spec,
+					Trace:          tr,
+					LinkTicks:      2,
+					Shards:         shards,
+					ShardMinActive: -1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			serial := runK(1)
+			if serial.ParallelLandings != 0 {
+				t.Fatalf("Shards=1 run counted %d parallel landings", serial.ParallelLandings)
+			}
+			zeroSchedulingDiagnostics(serial)
+			for _, k := range []int{2, 4} {
+				sharded := runK(k)
+				if sharded.ParallelTicks == 0 {
+					t.Errorf("Shards=%d never swept concurrently", k)
+				}
+				if sharded.ParallelLandings == 0 {
+					t.Errorf("Shards=%d never landed a wire transit in parallel", k)
+				}
+				zeroSchedulingDiagnostics(sharded)
+				if !reflect.DeepEqual(sharded, serial) {
+					t.Errorf("Shards=%d result differs from serial:\nsharded: %+v\nserial:  %+v", k, sharded, serial)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelLandingsRandomizedStress repeats the landing-equivalence
+// check under randomized heavy traffic: seeded random band-local bursts
+// of mixed packet kinds on 3-tick links, which keeps the wire FIFO deep,
+// makes multiple transits land on the same tick across both busy shards,
+// and exercises the per-shard buckets far harder than the fixed cadence.
+// Three seeds, DozzNoC (the full controller) and Baseline (always-on)
+// models, Shards in {1,2,4}.
+func TestParallelLandingsRandomizedStress(t *testing.T) {
+	topo := topology.NewMesh(8, 16)
+	s := core.NewSuite(topo, core.Options{Horizon: 12_000, Seed: 3})
+	for _, k := range core.MLKinds {
+		s.SetTrainedModel(k, &ml.Ridge{Weights: []float64{0, 0, 0, 0, 1}})
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		tr := randomBandedTrace(topo, 12_000, seed)
+		for _, kind := range []core.ModelKind{core.KindDozzNoC, core.KindBaseline} {
+			kind, seed := kind, seed
+			t.Run(fmt.Sprintf("%s/seed%d", kind, seed), func(t *testing.T) {
+				runK := func(shards int) *sim.Result {
+					spec, err := s.Spec(kind)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := sim.Run(sim.Config{
+						Topo:           topo,
+						Spec:           spec,
+						Trace:          tr,
+						LinkTicks:      3,
+						Shards:         shards,
+						ShardMinActive: -1,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				serial := runK(1)
+				zeroSchedulingDiagnostics(serial)
+				for _, k := range []int{2, 4} {
+					sharded := runK(k)
+					if sharded.ParallelLandings == 0 {
+						t.Errorf("seed %d Shards=%d: no parallel landings under heavy random traffic", seed, k)
+					}
+					zeroSchedulingDiagnostics(sharded)
+					if !reflect.DeepEqual(sharded, serial) {
+						t.Errorf("seed %d Shards=%d result differs from serial", seed, k)
+					}
+				}
+			})
+		}
+	}
+}

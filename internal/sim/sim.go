@@ -101,7 +101,9 @@ type Config struct {
 	// unsecured). Results are bit-identical for any shard count — ticks
 	// that cannot be proven isolated sweep serially, and concurrent
 	// sweeps stage shared-state effects into per-shard lanes replayed in
-	// the serial order (DESIGN.md §5c). 0 selects min(GOMAXPROCS, rows);
+	// the serial order (DESIGN.md §5c). 0 selects
+	// min(GOMAXPROCS, NumCPU, rows) — in particular it resolves to 1 on
+	// a single-CPU host, where concurrent sweeps could only interleave;
 	// 1 disables concurrency. Clamped to the router-row count. Forced to
 	// 1 when NoActiveSet is set or Pipeline < 2 (a 1-cycle pipeline lets
 	// a flit cross two links in one tick, defeating the boundary-margin
@@ -183,7 +185,21 @@ func (c *Config) applyDefaults() error {
 	}
 	rows := c.Topo.Height()
 	if c.Shards == 0 {
-		c.Shards = runtime.GOMAXPROCS(0)
+		// Auto-sizing caps the shard count at the number of hardware CPUs
+		// as well as GOMAXPROCS: on a single-CPU host (or GOMAXPROCS
+		// raised above NumCPU) concurrent sweeps can only interleave, so
+		// the sharded engine would pay its two-phase staging overhead
+		// (~1.12x measured) with no parallelism to buy back. Shards=0
+		// therefore resolves to 1 whenever only one CPU can run; an
+		// explicit Shards>=2 still forces concurrency for testing.
+		p := runtime.GOMAXPROCS(0)
+		if ncpu := runtime.NumCPU(); ncpu < p {
+			p = ncpu
+		}
+		if p < 1 {
+			p = 1
+		}
+		c.Shards = p
 	}
 	if c.Shards > rows {
 		c.Shards = rows
@@ -227,6 +243,12 @@ type Result struct {
 	// like FastForwardedTicks: it varies with the shard count while
 	// every other field is bit-identical.
 	ParallelTicks int64
+	// ParallelLandings counts due wire transits landed by the shard
+	// workers through their own staging lanes instead of serially on the
+	// engine goroutine (0 when Shards is 1, when LinkTicks is 0 — zero
+	//-latency links land inline — or when no due transit coincided with
+	// a concurrent tick). Diagnostic only, like ParallelTicks.
+	ParallelLandings int64
 
 	PacketsInjected  int64
 	PacketsDelivered int64
@@ -399,8 +421,9 @@ type engine struct {
 	sumLatency int64
 	nLatency   int64
 
-	ffTicks       int64 // ticks covered by the fast-forward path
-	parallelTicks int64 // ticks swept concurrently across shards
+	ffTicks          int64 // ticks covered by the fast-forward path
+	parallelTicks    int64 // ticks swept concurrently across shards
+	parallelLandings int64 // due wire transits landed by shard workers
 
 	// Active-set scheduling state (see DESIGN.md §5b/§5c). A router is in
 	// the active set iff the per-tick loop must visit it: it has buffered
@@ -681,15 +704,23 @@ func (e *engine) parallelOK() bool {
 	return true
 }
 
-// startWorkers spawns one sweep goroutine per shard beyond the first;
-// shard 0 always sweeps on the engine goroutine. Workers are started
-// lazily at the first concurrent tick so serial runs never pay for them.
+// startWorkers spawns one worker goroutine per shard beyond the first;
+// shard 0 always runs on the engine goroutine. A worker's tick has two
+// phases, land then sweep: it first lands the due wire transits the
+// engine bucketed for its shard (LandPending; empty on ticks without due
+// wire traffic), then sweeps its slice of the active set. No barrier
+// separates the phases across shards — a landing's whole effect set is
+// destination-shard-local under the quiet-margin predicate (DESIGN.md
+// §5d), so shard A may sweep while shard B still lands. Workers are
+// started lazily at the first concurrent tick so serial runs never pay
+// for them.
 func (e *engine) startWorkers() {
 	for si := 1; si < len(e.shards); si++ {
 		s := &e.shards[si]
 		s.work = make(chan int64, 1)
 		go func(si int, s *shardState) {
 			for t := range s.work {
+				e.net.LandPending(si)
 				e.sweepShard(si, t)
 				e.wg.Done()
 			}
@@ -910,7 +941,12 @@ func Run(cfg Config) (*Result, error) {
 			}
 			e.popArms(tick)
 		}
-		e.net.DeliverDue()
+		// Injections precede wire landings so the quiet-margin predicate
+		// can be evaluated before any landing applies: both only raise
+		// securing claims and wake requests against routers that are
+		// already caught up (a landing's destination is secured, hence
+		// scheduled, until the tail lands), so the two orders commute
+		// bit-for-bit — see DESIGN.md §5d.
 		for cursor < len(entries) && entries[cursor].Time <= tick {
 			en := entries[cursor]
 			injectNow(e.net.AcquirePacket(en.Src, en.Dst, en.Kind, tick))
@@ -921,22 +957,31 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if e.lazy {
 			if e.parallelOK() {
+				// A due transit into a boundary margin keeps its
+				// destination secured — hence the margin non-inert and this
+				// branch unreachable — so every landing bucketed here is
+				// destination-shard-local and the workers can land and
+				// sweep without cross-shard effects.
 				if !e.workersUp {
 					e.startWorkers()
 				}
+				e.parallelLandings += int64(e.net.StageDueLandings(e.shardOf))
 				e.wg.Add(len(e.shards) - 1)
 				for si := 1; si < len(e.shards); si++ {
 					e.shards[si].work <- tick
 				}
+				e.net.LandPending(0)
 				e.sweepShard(0, tick)
 				e.wg.Wait()
 				e.parallelTicks++
 			} else {
+				e.net.DeliverDue()
 				for si := range e.shards {
 					e.sweepShard(si, tick)
 				}
 			}
 		} else {
+			e.net.DeliverDue()
 			for r := 0; r < nR; r++ {
 				e.stepRouter(r, 0)
 			}
@@ -1068,6 +1113,7 @@ func (e *engine) result(ticks int64, drained bool) *Result {
 		FastForwardedTicks:     e.ffTicks,
 		LazySkippedRouterTicks: lazyTicks,
 		ParallelTicks:          e.parallelTicks,
+		ParallelLandings:       e.parallelLandings,
 		PacketsInjected:        e.net.PacketsInjected(),
 		PacketsDelivered:       e.net.PacketsDelivered(),
 		FlitsDelivered:         e.net.FlitsDelivered(),
