@@ -3,7 +3,7 @@ BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
 # bench-gate baseline: newest committed snapshot unless overridden.
 BASE ?= $(shell ls BENCH_*.json 2>/dev/null | sort | tail -1)
 
-.PHONY: build test vet race race-sharded bench bench-compare bench-gate check golden-update
+.PHONY: build test vet race race-sharded bench bench-compare bench-gate obs-overhead check golden-update
 
 build:
 	$(GO) build ./...
@@ -60,9 +60,22 @@ bench-gate:
 	$(GO) test -bench='$(GATE_BENCHES)' -benchmem -count=$(COUNT) -json . > .bench-gate.json
 	$(GO) run ./cmd/benchtxt -gate -pattern '$(GATE_BENCHES)' -max-regress 10 $(BASE) .bench-gate.json
 
+# Observability overhead gate: BenchmarkMediumLoad with obs disabled vs
+# enabled-but-unsubscribed (DOZZNOC_OBS=1 makes bench_test.go attach a
+# Metrics with no tracer and no endpoint reader). Both runs produce the
+# same benchmark names, so cmd/benchtxt -gate compares them directly;
+# the enabled run must stay within 2% of the disabled run's
+# min-of-runs ns/op — the layer is required to be near-free even when
+# someone leaves it attached.
+OBS_COUNT ?= 5
+obs-overhead:
+	$(GO) test -bench=BenchmarkMediumLoad -benchmem -count=$(OBS_COUNT) -json . > .obs-off.json
+	DOZZNOC_OBS=1 $(GO) test -bench=BenchmarkMediumLoad -benchmem -count=$(OBS_COUNT) -json . > .obs-on.json
+	$(GO) run ./cmd/benchtxt -gate -pattern 'BenchmarkMediumLoad' -max-regress 2 .obs-off.json .obs-on.json
+
 # CI entry point: vet + full tests + sharded-equivalence race gate +
-# full race detector sweep.
-check: vet test race-sharded race
+# full race detector sweep + observability overhead gate.
+check: vet test race-sharded race obs-overhead
 
 # Regenerate the cmd/experiments golden snapshots after an intentional
 # output change (review the diff before committing).

@@ -43,16 +43,25 @@ func main() {
 		shards     = flag.Int("shards", 0, "tick-engine shards (0 = min(GOMAXPROCS, CPUs, mesh rows) — serial on a single-CPU host, pass a count >1 to force sharding there; 1 = serial sweep; results are bit-identical)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		rtTrace    = flag.String("runtimetrace", "", "write a Go execution trace (go tool trace) to this file")
+		obsAddr    = flag.String("obs-addr", "", "serve live expvar/pprof observability on this address (e.g. localhost:6060)")
+		traceOut   = flag.String("trace-out", "", "write engine-phase spans as a Perfetto/chrome://tracing JSONL file")
 	)
 	flag.Parse()
 
 	// Profiles flush on normal exit only; fatal() paths abort before the
 	// expensive simulation, where a partial profile has no value.
-	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	stopProfiles, err := cli.StartProfiles(*cpuProfile, *rtTrace, *memProfile)
 	if err != nil {
 		fatal(err)
 	}
 	defer stopProfiles()
+
+	observer, closeObs, err := cli.StartObs(*obsAddr, *traceOut)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeObs()
 
 	if *list {
 		for _, p := range traffic.Profiles() {
@@ -130,6 +139,7 @@ func main() {
 		EpochTicks:    *epoch,
 		Shards:        nShards,
 		CollectSeries: *series != "",
+		Obs:           observer,
 	})
 	if err != nil {
 		fatal(err)

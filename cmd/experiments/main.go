@@ -32,9 +32,11 @@ type runConfig struct {
 	cmesh    bool
 	csvDir   string
 	parallel bool
-	shards   int // per-simulation tick-engine shards (0 = auto)
-	meshW    int // mesh dimensions (default 8x8)
+	shards   int    // per-simulation tick-engine shards (0 = auto)
+	meshW    int    // mesh dimensions (default 8x8)
 	meshH    int
+	obsAddr  string // live expvar/pprof endpoint address ("" = off)
+	traceOut string // engine-phase Perfetto trace path ("" = off)
 
 	// configureSuite, when non-nil, is applied to every suite the run
 	// builds before any simulation (tests install passthrough ML models
@@ -44,7 +46,7 @@ type runConfig struct {
 
 func main() {
 	var rc runConfig
-	var cpuProfile, memProfile string
+	var cpuProfile, memProfile, rtTrace string
 	flag.StringVar(&rc.only, "only", "", "comma-separated experiment ids (default: all)")
 	flag.Int64Var(&rc.horizon, "horizon", 120_000, "trace generation window in base ticks")
 	flag.Int64Var(&rc.compress, "compress", exp.DefaultCompression, "compression factor for compressed-trace experiments")
@@ -55,9 +57,12 @@ func main() {
 	flag.IntVar(&rc.shards, "shards", 0, "per-simulation tick-engine shards (0 = min(GOMAXPROCS, CPUs, mesh rows) — serial on a single-CPU host, pass a count >1 to force sharding there; 1 = serial sweep; results are bit-identical)")
 	flag.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&memProfile, "memprofile", "", "write a heap profile to this file on exit")
+	flag.StringVar(&rtTrace, "runtimetrace", "", "write a Go execution trace (go tool trace) to this file")
+	flag.StringVar(&rc.obsAddr, "obs-addr", "", "serve live expvar/pprof observability on this address (e.g. localhost:6060)")
+	flag.StringVar(&rc.traceOut, "trace-out", "", "write engine-phase spans as a Perfetto/chrome://tracing JSONL file")
 	flag.Parse()
 
-	stopProfiles, err := cli.StartProfiles(cpuProfile, memProfile)
+	stopProfiles, err := cli.StartProfiles(cpuProfile, rtTrace, memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -129,7 +134,16 @@ func run(out, errOut io.Writer, rc runConfig) error {
 		return nil
 	}
 
-	opts := core.Options{Horizon: rc.horizon, Seed: rc.seed, Parallel: rc.parallel, Shards: rc.shards}
+	// The observer rides along on every sequential single-run entry point
+	// (core.Options.Obs documents why the parallel paths skip it); the
+	// live endpoint shows whichever simulation folded an epoch last.
+	observer, closeObs, err := cli.StartObs(rc.obsAddr, rc.traceOut)
+	if err != nil {
+		return err
+	}
+	defer closeObs()
+
+	opts := core.Options{Horizon: rc.horizon, Seed: rc.seed, Parallel: rc.parallel, Shards: rc.shards, Obs: observer}
 	newSuite := func(topo topology.Topology, o core.Options) *core.Suite {
 		s := core.NewSuite(topo, o)
 		if rc.configureSuite != nil {

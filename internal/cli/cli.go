@@ -7,9 +7,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -82,12 +84,15 @@ func ParsePattern(name string) (traffic.Pattern, error) {
 	return 0, fmt.Errorf("cli: unknown pattern %q", name)
 }
 
-// StartProfiles begins CPU profiling and arranges a heap snapshot,
-// driven by the shared -cpuprofile/-memprofile flags. Either path may be
-// empty. It returns a stop function for the caller to defer; stop
-// finishes the CPU profile and writes the heap profile (after a GC, so
-// it reflects live objects rather than collection timing).
-func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
+// StartProfiles begins CPU profiling, a Go execution trace
+// (runtime/trace — scheduler/GC/goroutine timelines, the view that shows
+// the sharded engine's worker goroutines and barriers; go tool trace
+// reads it), and arranges a heap snapshot, driven by the shared
+// -cpuprofile/-runtimetrace/-memprofile flags. Any path may be empty. It
+// returns a stop function for the caller to defer; stop finishes the CPU
+// profile and execution trace and writes the heap profile (after a GC,
+// so it reflects live objects rather than collection timing).
+func StartProfiles(cpuPath, runtimeTracePath, memPath string) (stop func(), err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
@@ -99,10 +104,33 @@ func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
 			return nil, fmt.Errorf("cli: start cpu profile: %w", err)
 		}
 	}
+	var traceFile *os.File
+	if runtimeTracePath != "" {
+		traceFile, err = os.Create(runtimeTracePath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("cli: create runtime trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("cli: start runtime trace: %w", err)
+		}
+	}
 	return func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
 		}
 		if memPath != "" {
 			f, err := os.Create(memPath)
@@ -117,6 +145,55 @@ func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
 			}
 		}
 	}, nil
+}
+
+// StartObs wires the observability flags shared by the commands: it
+// starts the live expvar/pprof endpoint when addr is non-empty
+// (-obs-addr) and opens a Perfetto-loadable engine-phase trace when
+// tracePath is non-empty (-trace-out). It returns the Observer to attach
+// to runs — nil when both flags are off, which disables the layer
+// entirely — and a close function for the caller to defer; close flushes
+// the phase trace and shuts the endpoint down.
+func StartObs(addr, tracePath string) (*obs.Observer, func(), error) {
+	var (
+		srv    *obs.Server
+		tf     *os.File
+		tracer *obs.Tracer
+	)
+	if addr != "" {
+		var err error
+		srv, err = obs.StartServer(addr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cli: obs endpoint: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s/debug/vars\n", srv.Addr())
+	}
+	if tracePath != "" {
+		var err error
+		tf, err = os.Create(tracePath)
+		if err != nil {
+			if srv != nil {
+				srv.Close()
+			}
+			return nil, nil, fmt.Errorf("cli: create phase trace: %w", err)
+		}
+		tracer = obs.NewTracer(tf)
+	}
+	closeFn := func() {
+		if tracer != nil {
+			if err := tracer.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "cli: phase trace:", err)
+			}
+			tf.Close()
+		}
+		if srv != nil {
+			srv.Close()
+		}
+	}
+	if srv == nil && tracer == nil {
+		return nil, closeFn, nil
+	}
+	return &obs.Observer{Metrics: obs.NewMetrics(), Tracer: tracer}, closeFn, nil
 }
 
 // LoadTrace reads a binary trace file written by cmd/tracegen.

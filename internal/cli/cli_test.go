@@ -70,6 +70,74 @@ func TestParsePattern(t *testing.T) {
 	}
 }
 
+func TestStartProfilesRuntimeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exec.trace")
+	stop, err := StartProfiles("", path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	// The Go runtime writes its trace header eagerly, so even a trace
+	// covering almost no execution must be non-empty and start with the
+	// "go 1." version banner.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("runtime trace file is empty")
+	}
+	// With every path empty, StartProfiles must be a no-op that still
+	// returns a callable stop.
+	stop, err = StartProfiles("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if _, err := StartProfiles("", filepath.Join(t.TempDir(), "no/such/dir/t"), ""); err == nil {
+		t.Error("uncreatable trace path accepted")
+	}
+}
+
+func TestStartObs(t *testing.T) {
+	// Both flags off: no observer, close is a no-op.
+	o, closeObs, err := StartObs("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil {
+		t.Error("observer without any sink")
+	}
+	closeObs()
+
+	// Trace only: an observer with metrics and a tracer, file written on
+	// close.
+	path := filepath.Join(t.TempDir(), "phases.jsonl")
+	o, closeObs, err = StartObs("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil || o.Metrics == nil || o.Tracer == nil {
+		t.Fatalf("trace-out observer incomplete: %+v", o)
+	}
+	o.Tracer.BeginRun("t", 1)
+	o.Tracer.Instant(0, "epoch", 1, -1)
+	closeObs()
+	if data, err := os.ReadFile(path); err != nil || len(data) == 0 {
+		t.Fatalf("phase trace not written: %v", err)
+	}
+
+	// Endpoint only: metrics observer, no tracer.
+	o, closeObs, err = StartObs("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil || o.Metrics == nil || o.Tracer != nil {
+		t.Fatalf("obs-addr observer incomplete: %+v", o)
+	}
+	closeObs()
+}
+
 func TestLoadTrace(t *testing.T) {
 	topo := topology.NewMesh(4, 4)
 	tr := traffic.Synthetic(topo, traffic.UniformRandom, 0.01, 1000, 1)

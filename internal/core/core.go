@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -93,6 +94,14 @@ type Options struct {
 	// serial on a single-CPU host — and 1 forces the serial sweep.
 	// Bit-identical results for any value.
 	Shards int
+
+	// Obs attaches the observability layer (sim.Config.Obs) to the
+	// single-run entry points: RunTrace and everything routed through it
+	// (RunBenchmark, the sequential Compare). The concurrent paths —
+	// dataset harvesting and CompareParallel — deliberately ignore it: a
+	// Metrics binds to one run at a time, and overlapping runs would
+	// race on its lanes.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -376,6 +385,7 @@ func (s *Suite) RunTrace(kind ModelKind, t *traffic.Trace) (*sim.Result, error) 
 		LinkTicks:  s.Opts.LinkTicks,
 		EpochTicks: s.Opts.EpochTicks,
 		Shards:     s.Opts.Shards,
+		Obs:        s.Opts.Obs,
 	})
 }
 

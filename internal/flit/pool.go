@@ -18,7 +18,17 @@ type Pool struct {
 	// slices holds recycled flit-slice backing arrays keyed by length
 	// (packet sizes are small and few: 1-flit requests, 5-flit responses).
 	slices map[int][][]*Flit
+
+	// hits counts Get* requests served from a free list, misses those that
+	// had to allocate; together they give the pool's recycling rate (a miss
+	// burst after warm-up means the in-flight population outgrew the pool).
+	hits   int64
+	misses int64
 }
+
+// Stats returns the number of Get* requests served from the free lists
+// (hits) and the number that allocated fresh objects (misses).
+func (pl *Pool) Stats() (hits, misses int64) { return pl.hits, pl.misses }
 
 // GetPacket returns a reset packet, reusing a recycled one when possible.
 // The result is identical to New(0, src, dst, kind, injectAt) except that
@@ -29,8 +39,10 @@ func (pl *Pool) GetPacket(src, dst int, kind Kind, injectAt int64) *Packet {
 		p = pl.packets[n-1]
 		pl.packets[n-1] = nil
 		pl.packets = pl.packets[:n-1]
+		pl.hits++
 	} else {
 		p = &Packet{}
+		pl.misses++
 	}
 	*p = Packet{
 		SrcCore:  src,
@@ -106,8 +118,10 @@ func (pl *Pool) getFlit() *Flit {
 		f := pl.flits[n-1]
 		pl.flits[n-1] = nil
 		pl.flits = pl.flits[:n-1]
+		pl.hits++
 		return f
 	}
+	pl.misses++
 	return &Flit{}
 }
 
@@ -116,7 +130,9 @@ func (pl *Pool) getSlice(size int) []*Flit {
 		fs := ss[len(ss)-1]
 		ss[len(ss)-1] = nil
 		pl.slices[size] = ss[:len(ss)-1]
+		pl.hits++
 		return fs
 	}
+	pl.misses++
 	return make([]*Flit, size)
 }

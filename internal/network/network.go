@@ -386,6 +386,20 @@ func (n *Network) PacketsInjected() int64  { return n.packetsInjected }
 func (n *Network) CoreSentRequests(core int) int64 { return n.coreSentReq[core] }
 func (n *Network) CoreRecvRequests(core int) int64 { return n.coreRecvReq[core] }
 
+// PoolStats sums free-list hits and misses across the packet pool and
+// every lane's flit pool (the observability layer exposes the ratio as a
+// pool hit rate). Lane pools are owner-written during concurrent sweeps,
+// so call it only between Commits, like the other aggregates.
+func (n *Network) PoolStats() (hits, misses int64) {
+	hits, misses = n.pool.Stats()
+	for i := range n.lanes {
+		h, m := n.lanes[i].pool.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
 // CycleRouter runs one local cycle of a router against shard's staging
 // lane: injection from its attached cores, then switch allocation and
 // traversal. The engine must only call it for routers whose power state

@@ -1,0 +1,437 @@
+// Package obs is the engine's observability layer: per-shard metric
+// lanes folded at epoch boundaries (the sharding-safe counterpart of the
+// policy package's stats lanes), Chrome trace_event phase tracing
+// (tracer.go), and a live expvar/pprof HTTP endpoint (server.go).
+//
+// The design contract is that observability must never perturb results
+// and must cost almost nothing when disabled: every hook the engine and
+// controller call is a branch on a nil pointer, shard-goroutine hooks
+// write only to the calling shard's padded lane, and everything else —
+// residency deltas, energy deltas, prediction accuracy, expvar gauges —
+// is derived at epoch folds on the engine goroutine, after the engine's
+// catch-up barrier, from state that is already exact (DESIGN.md §5e).
+package obs
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/stats"
+)
+
+// Observer bundles the optional observability sinks a run can attach
+// (sim.Config.Obs). Either field may be nil independently: Metrics
+// collects counters and the per-epoch series, Tracer emits engine-phase
+// spans. A nil *Observer disables the layer entirely.
+type Observer struct {
+	Metrics *Metrics
+	Tracer  *Tracer
+}
+
+// New returns an Observer with a fresh Metrics and no Tracer — the common
+// "counters only" configuration.
+func New() *Observer { return &Observer{Metrics: NewMetrics()} }
+
+// Lane is one shard's staging area for event counters. During a
+// concurrent sweep only the owning shard's goroutine writes it (the same
+// ownership discipline as policy.SetStatsLanes); the trailing pad keeps
+// neighboring lanes off one cache line. Lanes are drained into the run
+// totals at every epoch fold, which runs single-threaded after the
+// engine's catch-up barrier.
+type Lane struct {
+	Gatings      int64 // Active -> Inactive transitions
+	Wakes        int64 // Inactive -> Wakeup transitions
+	WakeOffTicks int64 // summed lengths of the gating periods those wakes ended
+	ModeSwitches int64 // voltage/frequency switches started
+	LazyTicks    int64 // router-ticks covered by deferred catch-up
+	Sweeps       int64 // active-set sweeps executed for this shard
+
+	_ [64]byte
+}
+
+// Epoch is one epoch's folded rollup: the event and scheduling deltas
+// that accrued since the previous fold, plus the residency and energy
+// movement derived from the meters. It is the obs-side superset of
+// stats.EpochSample (which keeps the CSV schema the figure pipeline
+// pins).
+type Epoch struct {
+	Tick int64
+
+	// Event deltas drained from the shard lanes.
+	Gatings      int64
+	Wakes        int64
+	ModeSwitches int64
+	LazyTicks    int64
+
+	// Engine scheduling deltas.
+	ParallelTicks      int64
+	ParallelLandings   int64
+	FastForwardedTicks int64
+
+	// ResidencyDelta is the network-total base ticks spent per billing
+	// state this epoch: index 0 = gated, 1 = wakeup (the wakeup-stall
+	// ticks), 2..6 = modes M3..M7.
+	ResidencyDelta [2 + power.NumActiveModes]int64
+
+	// Prediction accuracy. AvgIBU is the measured network-mean IBU of the
+	// closing epoch; AvgPredIBU the mean IBU predicted at this boundary
+	// for the next epoch (over routers that ran the selector); PredAbsErr
+	// the mean |measured - predicted| for routers whose previous-boundary
+	// prediction matured this epoch. Both means are 0 when no router ran
+	// the selector.
+	AvgIBU     float64
+	AvgPredIBU float64
+	PredAbsErr float64
+
+	// Energy movement this epoch.
+	StaticJDelta  float64
+	DynamicJDelta float64
+}
+
+// WakeStallTicks returns the epoch's wakeup-residency delta: base ticks
+// routers spent charging up before they could move flits.
+func (e *Epoch) WakeStallTicks() int64 { return e.ResidencyDelta[1] }
+
+// Snapshot is a cumulative, self-contained view of a run's metrics,
+// published atomically at every epoch fold for the live endpoint and
+// returned by Metrics.Snapshot for tests.
+type Snapshot struct {
+	Run    int64  `json:"run"`   // 1-based bind count of the Metrics
+	Label  string `json:"label"` // run label (model/trace)
+	Tick   int64  `json:"tick"`  // last folded tick
+	Epochs int64  `json:"epochs"`
+
+	Gatings      int64 `json:"gatings"`
+	Wakes        int64 `json:"wakes"`
+	WakeOffTicks int64 `json:"wake_off_ticks"`
+	ModeSwitches int64 `json:"mode_switches"`
+
+	// Scheduling mirrors, accumulated independently of the engine's own
+	// Result diagnostics so the two can be cross-checked.
+	LazyTicks          int64 `json:"lazy_router_ticks"`
+	ParallelTicks      int64 `json:"parallel_ticks"`
+	ParallelLandings   int64 `json:"parallel_landings"`
+	FastForwardedTicks int64 `json:"fast_forwarded_ticks"`
+
+	ShardSweeps   []int64 `json:"shard_sweeps"`   // sweeps per shard
+	ActiveRouters int     `json:"active_routers"` // active-set size at the last fold
+
+	ResidencyTicks [2 + power.NumActiveModes]int64 `json:"residency_ticks"`
+
+	EpochDecisions int64   `json:"epoch_decisions"`
+	MeanAbsPredErr float64 `json:"mean_abs_pred_err"` // |measured - predicted| IBU
+
+	PoolHits   int64 `json:"pool_hits"`
+	PoolMisses int64 `json:"pool_misses"`
+
+	TicksPerSec float64 `json:"ticks_per_sec"` // simulated base ticks per wall second
+}
+
+// WakeStallTicks returns cumulative wakeup-residency ticks.
+func (s *Snapshot) WakeStallTicks() int64 { return s.ResidencyTicks[1] }
+
+// Metrics accumulates one run's observability counters. A Metrics is
+// bound to a run by the engine (BindRun), written by the engine goroutine
+// and — through the per-shard lanes — by shard goroutines, and folded at
+// epoch boundaries. It implements policy.EventObserver. It is not safe to
+// share across concurrently executing runs; rebinding resets per-run
+// state, so one Metrics may observe a sequence of runs.
+type Metrics struct {
+	lanes  []Lane
+	laneOf []uint8 // owning lane of each router
+	nR     int
+
+	run       int64
+	label     string
+	started   time.Time
+	seriesOn  bool
+	series    *stats.Series
+	epochs    []Epoch
+	lastFold  int64
+	totals    Snapshot
+	prevRes   [2 + power.NumActiveModes]int64
+	prevStat  float64
+	prevDyn   float64
+	prevPHits int64
+	prevPMiss int64
+
+	// Engine-goroutine scheduling mirrors (per-epoch deltas are taken at
+	// folds).
+	parallelTicks, parallelLandings, ffTicks             int64
+	lastParallelTicks, lastParallelLandings, lastFFTicks int64
+	lastLanes                                            Lane // drained lane sums at the previous fold
+
+	// Prediction bookkeeping (engine goroutine; EpochDecision fires only
+	// from the boundary sweep).
+	lastPred   []float64 // previous boundary's prediction per router, NaN if none
+	predSum    float64   // predictions made since the last fold
+	predN      int64
+	predErrSum float64 // |measured - matured prediction| since the last fold
+	predErrN   int64
+	errSumRun  float64 // run totals for the snapshot's mean
+	errNRun    int64
+}
+
+// NewMetrics returns an unbound Metrics; the engine binds it at run
+// start.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// BindRun attaches the Metrics to a run: one lane per engine shard
+// (laneStarts[i] is shard i's first router ID), numRouters routers, and
+// optionally a per-epoch stats.Series (the engine sources Result.Series
+// from it). All per-run state is reset; the bind count survives so a
+// long-lived Observer can tell runs apart on the live endpoint.
+func (m *Metrics) BindRun(label string, laneStarts []int, numRouters int, epochTicks int64, collectSeries bool) {
+	m.run++
+	m.label = label
+	m.started = time.Now()
+	m.nR = numRouters
+	m.lanes = make([]Lane, len(laneStarts))
+	m.laneOf = make([]uint8, numRouters)
+	lane := 0
+	for r := 0; r < numRouters; r++ {
+		for lane+1 < len(laneStarts) && r >= laneStarts[lane+1] {
+			lane++
+		}
+		m.laneOf[r] = uint8(lane)
+	}
+	m.seriesOn = collectSeries
+	m.series = nil
+	if collectSeries {
+		m.series = &stats.Series{EpochTicks: epochTicks}
+	}
+	m.epochs = nil
+	m.lastFold = 0
+	m.totals = Snapshot{Run: m.run, Label: label, ShardSweeps: make([]int64, len(laneStarts))}
+	m.prevRes = [2 + power.NumActiveModes]int64{}
+	m.prevStat, m.prevDyn = 0, 0
+	m.prevPHits, m.prevPMiss = 0, 0
+	m.parallelTicks, m.parallelLandings, m.ffTicks = 0, 0, 0
+	m.lastParallelTicks, m.lastParallelLandings, m.lastFFTicks = 0, 0, 0
+	m.lastLanes = Lane{}
+	m.lastPred = make([]float64, numRouters)
+	for i := range m.lastPred {
+		m.lastPred[i] = math.NaN()
+	}
+	m.predSum, m.predN = 0, 0
+	m.predErrSum, m.predErrN = 0, 0
+	m.errSumRun, m.errNRun = 0, 0
+}
+
+// Series returns the per-epoch series collected for the current run (nil
+// unless BindRun asked for one).
+func (m *Metrics) Series() *stats.Series { return m.series }
+
+// Epochs returns the per-epoch rollups folded so far this run.
+func (m *Metrics) Epochs() []Epoch { return m.epochs }
+
+// --- policy.EventObserver ---
+
+// RouterGated implements policy.EventObserver.
+func (m *Metrics) RouterGated(routerID int) { m.lanes[m.laneOf[routerID]].Gatings++ }
+
+// RouterWoken implements policy.EventObserver.
+func (m *Metrics) RouterWoken(routerID int, offTicks int64) {
+	l := &m.lanes[m.laneOf[routerID]]
+	l.Wakes++
+	l.WakeOffTicks += offTicks
+}
+
+// ModeSwitched implements policy.EventObserver.
+func (m *Metrics) ModeSwitched(routerID int, from, to power.Mode) {
+	m.lanes[m.laneOf[routerID]].ModeSwitches++
+}
+
+// EpochDecision implements policy.EventObserver: it accrues the
+// predicted-IBU mean for this boundary and matures the previous
+// boundary's prediction against the measured IBU.
+func (m *Metrics) EpochDecision(routerID int, measured, predicted float64, mode power.Mode) {
+	m.predSum += predicted
+	m.predN++
+	m.totals.EpochDecisions++
+	if lp := m.lastPred[routerID]; !math.IsNaN(lp) {
+		e := math.Abs(measured - lp)
+		m.predErrSum += e
+		m.predErrN++
+		m.errSumRun += e
+		m.errNRun++
+	}
+	m.lastPred[routerID] = predicted
+}
+
+// --- engine hooks (all branch-on-nil at the call site) ---
+
+// OnSweep counts one active-set sweep of shard si; called by the owning
+// goroutine, so the lane write is contention-free.
+func (m *Metrics) OnSweep(si int) { m.lanes[si].Sweeps++ }
+
+// OnLazyCatchUp credits lane si with router-ticks covered by a deferred
+// catch-up; like OnSweep it is called by the goroutine that owns si.
+func (m *Metrics) OnLazyCatchUp(si int, delta int64) { m.lanes[si].LazyTicks += delta }
+
+// OnFastForward records a quiescent-window jump of delta ticks.
+func (m *Metrics) OnFastForward(delta int64) { m.ffTicks += delta }
+
+// OnParallelTick records one concurrently swept tick and the due wire
+// transits its shard workers landed.
+func (m *Metrics) OnParallelTick(stagedLandings int) {
+	m.parallelTicks++
+	m.parallelLandings += int64(stagedLandings)
+}
+
+// EpochFold carries the engine-side gauge readings into FoldEpoch.
+type EpochFold struct {
+	Now            int64   // the boundary tick
+	SumIBU         float64 // summed per-router IBU of the closing epoch
+	FlitsDelivered int64   // cumulative network counter
+	ActiveRouters  int     // active-set population at the boundary
+	PoolHits       int64   // cumulative flit/packet pool hits
+	PoolMisses     int64
+}
+
+// FoldEpoch closes one epoch: it drains the shard lanes into the run
+// totals (single-threaded — the engine calls it after Commit and the
+// catch-up barrier, while every shard worker is parked), derives the
+// residency/energy deltas from the meters, builds the stats.EpochSample
+// the series and figure pipeline consume, and publishes the live
+// snapshot. The sample computation is field-for-field the engine's
+// pre-obs code, so series CSVs are byte-identical.
+func (m *Metrics) FoldEpoch(f EpochFold, ctrl *policy.Controller, meters []power.Meter) {
+	ep := Epoch{Tick: f.Now}
+	if m.nR > 0 {
+		ep.AvgIBU = f.SumIBU / float64(m.nR)
+	}
+
+	var sample stats.EpochSample
+	sample.Tick = f.Now
+	sample.AvgIBU = ep.AvgIBU
+	for r := 0; r < m.nR; r++ {
+		switch ctrl.State(r) {
+		case policy.Inactive:
+			sample.OffRouters++
+		case policy.Wakeup:
+			sample.WakingRouters++
+		default:
+			sample.ModeRouters[ctrl.Mode(r).Index()]++
+		}
+	}
+	sample.FlitsDelivered = f.FlitsDelivered
+	for i := range meters {
+		sample.StaticJ += meters[i].StaticJoules()
+		sample.DynamicJ += meters[i].DynamicJoules()
+	}
+	if m.series != nil {
+		m.series.Add(sample)
+	}
+
+	// Residency movement, network-wide, from the integer meter counters.
+	var res [2 + power.NumActiveModes]int64
+	for i := range meters {
+		res[0] += meters[i].ResidencyTicks(power.Inactive)
+		res[1] += meters[i].ResidencyTicks(power.Wakeup)
+		for am := 0; am < power.NumActiveModes; am++ {
+			res[2+am] += meters[i].ResidencyTicks(power.ActiveMode(am))
+		}
+	}
+	for i := range res {
+		ep.ResidencyDelta[i] = res[i] - m.prevRes[i]
+	}
+	m.prevRes = res
+	m.totals.ResidencyTicks = res
+	ep.StaticJDelta = sample.StaticJ - m.prevStat
+	ep.DynamicJDelta = sample.DynamicJ - m.prevDyn
+	m.prevStat, m.prevDyn = sample.StaticJ, sample.DynamicJ
+
+	// Drain the shard lanes (cumulative) against the previous fold.
+	m.foldLanes(&ep)
+
+	ep.ParallelTicks = m.parallelTicks - m.lastParallelTicks
+	ep.ParallelLandings = m.parallelLandings - m.lastParallelLandings
+	ep.FastForwardedTicks = m.ffTicks - m.lastFFTicks
+	m.lastParallelTicks = m.parallelTicks
+	m.lastParallelLandings = m.parallelLandings
+	m.lastFFTicks = m.ffTicks
+
+	if m.predN > 0 {
+		ep.AvgPredIBU = m.predSum / float64(m.predN)
+	}
+	if m.predErrN > 0 {
+		ep.PredAbsErr = m.predErrSum / float64(m.predErrN)
+	}
+	m.predSum, m.predN = 0, 0
+	m.predErrSum, m.predErrN = 0, 0
+
+	m.epochs = append(m.epochs, ep)
+	m.lastFold = f.Now
+	m.publish(f)
+}
+
+// foldLanes accumulates the (cumulative) lane counters into the run
+// totals and writes the delta since the previous fold into ep. Lanes are
+// never zeroed mid-run — a shard goroutine could in principle still own
+// one between ticks — so folding subtracts the previous fold's sums.
+func (m *Metrics) foldLanes(ep *Epoch) {
+	var cur Lane
+	for i := range m.lanes {
+		l := &m.lanes[i]
+		cur.Gatings += l.Gatings
+		cur.Wakes += l.Wakes
+		cur.WakeOffTicks += l.WakeOffTicks
+		cur.ModeSwitches += l.ModeSwitches
+		cur.LazyTicks += l.LazyTicks
+		m.totals.ShardSweeps[i] = l.Sweeps
+	}
+	if ep != nil {
+		ep.Gatings = cur.Gatings - m.lastLanes.Gatings
+		ep.Wakes = cur.Wakes - m.lastLanes.Wakes
+		ep.ModeSwitches = cur.ModeSwitches - m.lastLanes.ModeSwitches
+		ep.LazyTicks = cur.LazyTicks - m.lastLanes.LazyTicks
+	}
+	m.lastLanes = cur
+	m.totals.Gatings = cur.Gatings
+	m.totals.Wakes = cur.Wakes
+	m.totals.WakeOffTicks = cur.WakeOffTicks
+	m.totals.ModeSwitches = cur.ModeSwitches
+	m.totals.LazyTicks = cur.LazyTicks
+}
+
+// publish refreshes the cumulative totals and the live expvar snapshot.
+func (m *Metrics) publish(f EpochFold) {
+	m.totals.Tick = f.Now
+	m.totals.Epochs = int64(len(m.epochs))
+	m.totals.ParallelTicks = m.parallelTicks
+	m.totals.ParallelLandings = m.parallelLandings
+	m.totals.FastForwardedTicks = m.ffTicks
+	m.totals.ActiveRouters = f.ActiveRouters
+	m.totals.PoolHits = f.PoolHits
+	m.totals.PoolMisses = f.PoolMisses
+	if m.errNRun > 0 {
+		m.totals.MeanAbsPredErr = m.errSumRun / float64(m.errNRun)
+	}
+	if el := time.Since(m.started).Seconds(); el > 0 {
+		m.totals.TicksPerSec = float64(f.Now) / el
+	}
+	snap := m.totals
+	snap.ShardSweeps = append([]int64(nil), m.totals.ShardSweeps...)
+	setLiveSnapshot(&snap)
+}
+
+// FinishRun folds events that accrued after the last epoch boundary
+// (partial epochs, post-drain catch-up) into the totals and republishes.
+// The engine calls it once, after its final catch-up flush.
+func (m *Metrics) FinishRun(ticks int64, f EpochFold) {
+	m.foldLanes(nil)
+	f.Now = ticks
+	m.publish(f)
+}
+
+// Snapshot returns the cumulative totals as of the last fold. Call it
+// from the engine goroutine or after the run; the live endpoint reads
+// the atomically published copy instead.
+func (m *Metrics) Snapshot() Snapshot {
+	snap := m.totals
+	snap.ShardSweeps = append([]int64(nil), m.totals.ShardSweeps...)
+	return snap
+}

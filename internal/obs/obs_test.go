@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var evs []map[string]any
+	sc := bufio.NewScanner(buf)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("invalid JSON line: %v\n%s", err, sc.Text())
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// TestTracerCoalescesAdjacentSpans: per-tick spans of the same name that
+// run back to back must merge into one event; a different name or a gap
+// must flush.
+func TestTracerCoalescesAdjacentSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.BeginRun("test", 2)
+	for tick := int64(0); tick < 10; tick++ {
+		tr.Span(EngineTrack, "serial-sweep", "below-min-active", tick, 1)
+	}
+	tr.Span(EngineTrack, "parallel-tick", "", 10, 1) // name change flushes
+	tr.Span(EngineTrack, "parallel-tick", "", 12, 1) // gap at 11 flushes
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var spans []map[string]any
+	for _, ev := range decodeLines(t, &buf) {
+		if ev["ph"] == "X" {
+			spans = append(spans, ev)
+		}
+	}
+	if len(spans) != 3 {
+		t.Fatalf("expected 3 coalesced spans, got %d: %v", len(spans), spans)
+	}
+	if spans[0]["name"] != "serial-sweep" || spans[0]["dur"] != float64(10) {
+		t.Errorf("first span should cover 10 ticks: %v", spans[0])
+	}
+	if args, ok := spans[0]["args"].(map[string]any); !ok || args["reason"] != "below-min-active" {
+		t.Errorf("serial span lost its reason: %v", spans[0])
+	}
+	if spans[1]["dur"] != float64(1) || spans[2]["dur"] != float64(1) {
+		t.Errorf("non-adjacent spans must not merge: %v", spans[1:])
+	}
+}
+
+// TestTracerRunsDoNotOverlap: BeginRun must shift the second run's
+// events past everything the first emitted.
+func TestTracerRunsDoNotOverlap(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.BeginRun("first", 1)
+	tr.Span(EngineTrack, "sweep-eager", "", 0, 500)
+	tr.BeginRun("second", 1)
+	tr.Span(EngineTrack, "sweep-eager", "", 0, 5)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var ts []float64
+	for _, ev := range decodeLines(t, &buf) {
+		if ev["ph"] == "X" {
+			ts = append(ts, ev["ts"].(float64))
+		}
+	}
+	if len(ts) != 2 {
+		t.Fatalf("expected 2 spans, got %d", len(ts))
+	}
+	if ts[1] < ts[0]+500 {
+		t.Errorf("second run overlaps the first: ts %v", ts)
+	}
+}
+
+// errWriter fails after n bytes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n -= len(p); w.n < 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	return len(p), nil
+}
+
+// TestTracerStickyError: a write failure surfaces on Flush and the
+// tracer keeps accepting (and dropping) events instead of panicking.
+func TestTracerStickyError(t *testing.T) {
+	tr := NewTracer(&errWriter{n: 16})
+	tr.BeginRun("x", 4)
+	for tick := int64(0); tick < 100; tick += 2 {
+		tr.Span(EngineTrack, "a", "", tick, 1) // gaps force emission
+	}
+	if err := tr.Flush(); err == nil {
+		t.Fatal("expected the write error to surface on Flush")
+	}
+}
+
+// TestMetricsLaneRouting: events for a router land in its owning shard's
+// lane and fold into the totals once.
+func TestMetricsLaneRouting(t *testing.T) {
+	m := NewMetrics()
+	m.BindRun("test", []int{0, 8}, 16, 500, false)
+	m.RouterGated(3)  // shard 0
+	m.RouterGated(11) // shard 1
+	m.RouterWoken(11, 40)
+	m.OnLazyCatchUp(1, 25)
+	m.OnSweep(0)
+	m.OnFastForward(100)
+	m.OnParallelTick(7)
+	m.FinishRun(1000, EpochFold{ActiveRouters: 2})
+	snap := m.Snapshot()
+	if snap.Gatings != 2 || snap.Wakes != 1 || snap.WakeOffTicks != 40 || snap.LazyTicks != 25 {
+		t.Errorf("event totals wrong: %+v", snap)
+	}
+	if snap.FastForwardedTicks != 100 || snap.ParallelTicks != 1 || snap.ParallelLandings != 7 {
+		t.Errorf("scheduling mirrors wrong: %+v", snap)
+	}
+	if len(snap.ShardSweeps) != 2 || snap.ShardSweeps[0] != 1 || snap.ShardSweeps[1] != 0 {
+		t.Errorf("per-shard sweeps wrong: %v", snap.ShardSweeps)
+	}
+	if snap.Tick != 1000 || snap.Run != 1 {
+		t.Errorf("run bookkeeping wrong: %+v", snap)
+	}
+	// Rebinding resets per-run state but keeps counting runs.
+	m.BindRun("again", []int{0}, 4, 500, false)
+	if snap := m.Snapshot(); snap.Gatings != 0 || snap.Run != 2 {
+		t.Errorf("rebind did not reset: %+v", snap)
+	}
+}
+
+// TestServerServesExpvarAndPprof starts the live endpoint on a free
+// port and checks /debug/vars carries the published dozznoc snapshot
+// and the pprof index answers.
+func TestServerServesExpvarAndPprof(t *testing.T) {
+	m := NewMetrics()
+	m.BindRun("endpoint-test", []int{0}, 4, 500, false)
+	m.OnFastForward(42)
+	m.FinishRun(123, EpochFold{ActiveRouters: 1})
+
+	srv, err := StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	resp, err := client.Get("http://" + srv.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/vars: status %d, err %v", resp.StatusCode, err)
+	}
+	var vars struct {
+		Dozznoc *Snapshot `json:"dozznoc"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if vars.Dozznoc == nil || vars.Dozznoc.Label != "endpoint-test" || vars.Dozznoc.FastForwardedTicks != 42 {
+		t.Errorf("published snapshot wrong: %+v", vars.Dozznoc)
+	}
+
+	resp, err = client.Get("http://" + srv.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: status %d, err %v", resp.StatusCode, err)
+	}
+	if !strings.Contains(string(idx), "goroutine") {
+		t.Error("pprof index does not list profiles")
+	}
+}

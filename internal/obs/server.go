@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// liveSnapshot is the snapshot most recently published by any Metrics
+// fold in the process. It is package-level because expvar names are
+// process-global (Publish panics on duplicates): the endpoint always
+// shows the most recently folded run, which is what a human watching a
+// sweep wants.
+var liveSnapshot atomic.Pointer[Snapshot]
+
+var publishOnce sync.Once
+
+func setLiveSnapshot(s *Snapshot) {
+	liveSnapshot.Store(s)
+	publishOnce.Do(func() {
+		expvar.Publish("dozznoc", expvar.Func(func() any {
+			return liveSnapshot.Load()
+		}))
+	})
+}
+
+// LiveSnapshot returns the most recently published snapshot, or nil if
+// no fold has happened yet.
+func LiveSnapshot() *Snapshot { return liveSnapshot.Load() }
+
+// Server is the live observability endpoint: expvar counters under
+// /debug/vars (including the "dozznoc" snapshot) and the standard pprof
+// handlers under /debug/pprof/. It uses its own mux so enabling it never
+// mutates http.DefaultServeMux.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer listens on addr (e.g. "localhost:6060"; ":0" picks a free
+// port — read it back with Addr) and serves in a background goroutine.
+func StartServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener and any in-flight handlers down.
+func (s *Server) Close() error { return s.srv.Close() }

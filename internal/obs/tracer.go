@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Track IDs ("tid" in the trace): the engine's own phases live on
+// EngineTrack; shard i's concurrent sweep spans live on ShardTrack(i).
+const EngineTrack = 0
+
+// ShardTrack returns the trace track for shard si.
+func ShardTrack(si int) int { return 1 + si }
+
+// Tracer emits engine-phase spans in the Chrome trace_event JSON format,
+// one event object per line (JSONL). Perfetto and chrome://tracing load
+// the output directly — their tokenizers accept a bare stream of event
+// objects, so no closing bracket is needed even if a run is cut short.
+//
+// Timestamps are virtual: one simulated base tick maps to one trace
+// microsecond, so span widths in the viewer read as tick counts.
+// Successive runs traced into one file (sweeps, experiment suites) are
+// offset by BeginRun so they lay out end to end instead of overlapping.
+//
+// Adjacent same-named spans on a track are coalesced — a serial-sweep
+// phase that holds for 10k ticks is one 10k-µs span, not 10k one-µs
+// spans — which keeps files loadable for long runs. A Tracer is used by
+// the engine goroutine only; shard-phase spans are emitted by the engine
+// after the barrier, from its own bookkeeping, never by shard
+// goroutines.
+type Tracer struct {
+	w   *bufio.Writer
+	err error
+
+	base    int64 // virtual-µs offset of the current run
+	maxTS   int64 // high-water mark across runs (pre-offset absolute µs)
+	started bool  // process metadata written
+
+	pending []span // per-track coalescing buffer, indexed by tid
+}
+
+type span struct {
+	name   string
+	detail string
+	start  int64 // absolute virtual µs (base applied)
+	end    int64
+	active bool
+}
+
+// NewTracer wraps w (typically an *os.File; the caller closes it after
+// Flush). Writes are buffered.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// BeginRun starts a new traced run: closes any pending spans, moves the
+// time base past everything already emitted, and names the process and
+// the engine + shard tracks. label shows up as an instant at the run's
+// origin.
+func (t *Tracer) BeginRun(label string, shards int) {
+	t.flushPending()
+	if !t.started {
+		t.started = true
+		t.meta("process_name", -1, "dozznoc-sim")
+	}
+	// Leave a visible gap between runs.
+	if t.maxTS > 0 {
+		t.maxTS += 100
+	}
+	t.base = t.maxTS
+	t.meta("thread_name", EngineTrack, "engine")
+	for si := 0; si < shards; si++ {
+		t.meta("thread_name", ShardTrack(si), fmt.Sprintf("shard %d", si))
+	}
+	t.event(`{"name":%q,"ph":"i","ts":%d,"pid":1,"tid":%d,"s":"p"}`, "run: "+label, t.base, EngineTrack)
+}
+
+// Span records a phase of dur ticks starting at tick start on track tid.
+// Zero-duration spans are dropped; a span contiguous with the track's
+// pending same-named span extends it instead of emitting a new event.
+func (t *Tracer) Span(tid int, name, detail string, start, dur int64) {
+	if dur <= 0 {
+		return
+	}
+	for tid >= len(t.pending) {
+		t.pending = append(t.pending, span{})
+	}
+	s, e := t.base+start, t.base+start+dur
+	if e > t.maxTS {
+		t.maxTS = e
+	}
+	p := &t.pending[tid]
+	if p.active && p.name == name && p.detail == detail && p.end == s {
+		p.end = e
+		return
+	}
+	if p.active {
+		t.emitSpan(tid, p)
+	}
+	*p = span{name: name, detail: detail, start: s, end: e, active: true}
+}
+
+// Instant records a point event at tick on track tid; n (a count, e.g.
+// landings folded at a barrier) is attached as an argument when >= 0.
+func (t *Tracer) Instant(tid int, name string, tick, n int64) {
+	ts := t.base + tick
+	if ts > t.maxTS {
+		t.maxTS = ts
+	}
+	if n >= 0 {
+		t.event(`{"name":%q,"ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t","args":{"n":%d}}`, name, ts, tid, n)
+		return
+	}
+	t.event(`{"name":%q,"ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t"}`, name, ts, tid)
+}
+
+// Flush closes pending spans and drains the buffer; it returns the first
+// write error encountered over the Tracer's lifetime. Call it before
+// closing the underlying file; the Tracer remains usable (BeginRun)
+// afterwards.
+func (t *Tracer) Flush() error {
+	t.flushPending()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+func (t *Tracer) flushPending() {
+	for tid := range t.pending {
+		if t.pending[tid].active {
+			t.emitSpan(tid, &t.pending[tid])
+			t.pending[tid].active = false
+		}
+	}
+}
+
+func (t *Tracer) emitSpan(tid int, p *span) {
+	if p.detail != "" {
+		t.event(`{"name":%q,"ph":"X","ts":%d,"dur":%d,"pid":1,"tid":%d,"args":{"reason":%q}}`,
+			p.name, p.start, p.end-p.start, tid, p.detail)
+		return
+	}
+	t.event(`{"name":%q,"ph":"X","ts":%d,"dur":%d,"pid":1,"tid":%d}`, p.name, p.start, p.end-p.start, tid)
+}
+
+func (t *Tracer) meta(kind string, tid int, name string) {
+	if tid < 0 {
+		t.event(`{"name":%q,"ph":"M","pid":1,"args":{"name":%q}}`, kind, name)
+		return
+	}
+	t.event(`{"name":%q,"ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, kind, tid, name)
+}
+
+func (t *Tracer) event(format string, args ...any) {
+	if t.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(t.w, format+"\n", args...); err != nil {
+		t.err = err
+	}
+}

@@ -199,6 +199,56 @@ func MLTurbo(sel ModeSelector, numRouters int) Spec {
 	return Spec{Name: "ML+TURBO", PowerGating: true, Selector: NewTurboSelector(sel, numRouters)}.withDefaults()
 }
 
+// EventObserver receives the controller's rare power-management events
+// (gatings, wakes, mode switches, epoch decisions). It is the hook the
+// observability layer (internal/obs) implements; the interface lives here
+// so policy does not import obs.
+//
+// Gated and Woken may fire from an engine shard's goroutine during a
+// concurrent sweep — always for a router the calling shard owns — so
+// implementations must stage per-router counters into per-shard lanes
+// (the same discipline as SetStatsLanes). EpochDecision and ModeSwitched
+// only fire from the engine goroutine's epoch-boundary sweep.
+type EventObserver interface {
+	// RouterGated fires on an Active -> Inactive transition.
+	RouterGated(routerID int)
+	// RouterWoken fires on an Inactive -> Wakeup transition; offTicks is
+	// the length of the gating period that just ended, in base ticks.
+	RouterWoken(routerID int, offTicks int64)
+	// ModeSwitched fires when an epoch decision starts a voltage switch.
+	ModeSwitched(routerID int, from, to power.Mode)
+	// EpochDecision fires for every selector run: measured is the closing
+	// epoch's IBU, predicted the IBU the selector derived its mode from
+	// (equal to measured for non-predictive selectors).
+	EpochDecision(routerID int, measured, predicted float64, mode power.Mode)
+}
+
+// IBUPredictor is optionally implemented by selectors that derive their
+// mode from a predicted IBU (the ML path); it lets an EventObserver
+// record predicted-vs-actual accuracy without re-deriving the model.
+type IBUPredictor interface {
+	PredictIBU(routerID int, ibu float64, feats []float64) float64
+}
+
+// PredictIBU implements IBUPredictor: the clamped model prediction that
+// SelectMode thresholds.
+func (s ProactiveSelector) PredictIBU(_ int, _ float64, feats []float64) float64 {
+	p := s.Model.Predict(feats)
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// PredictIBU implements IBUPredictor by delegating to the wrapped
+// selector (the TURBO override changes the mode, not the prediction).
+func (s *TurboSelector) PredictIBU(routerID int, ibu float64, feats []float64) float64 {
+	if p, ok := s.Inner.(IBUPredictor); ok {
+		return p.PredictIBU(routerID, ibu, feats)
+	}
+	return ibu
+}
+
 // NetView is the controller's window into the network (idleness inputs).
 type NetView interface {
 	// BuffersEmpty reports whether the router's input buffers are empty.
@@ -246,6 +296,14 @@ type Controller struct {
 	stats  []Stats // one entry per stats lane, indexed by laneOf
 	laneOf []uint8 // stats lane of each router
 	offAcc []int64 // cumulative off ticks per router (Table IV feature 4)
+
+	// obs, when non-nil, receives rare power-management events; pred is
+	// the selector's IBUPredictor view, resolved once at SetObserver so
+	// the epoch sweep avoids a per-router type assertion. Every hook site
+	// is a branch on nil in an already-rare path, so the disabled-mode
+	// overhead is one predictable branch per event, never per tick.
+	obs  EventObserver
+	pred IBUPredictor
 }
 
 // NewController builds a controller for numRouters routers.
@@ -290,6 +348,15 @@ func (c *Controller) SetStatsLanes(starts []int) {
 
 // SetNetView attaches the network view; required before Advance.
 func (c *Controller) SetNetView(nv NetView) { c.nv = nv }
+
+// SetObserver attaches (or, with nil, detaches) an event observer.
+func (c *Controller) SetObserver(o EventObserver) {
+	c.obs = o
+	c.pred = nil
+	if o != nil {
+		c.pred, _ = c.spec.Selector.(IBUPredictor)
+	}
+}
 
 // Spec returns the model specification.
 func (c *Controller) Spec() Spec { return c.spec }
@@ -371,6 +438,9 @@ func (c *Controller) WakeRequest(routerID int) {
 	st.Wakes++
 	if timing.CyclesIn(timing.Tick(offDur), power.FreqMHz(pm.mode)) >= int64(costs.TBreakeven) {
 		st.BreakevenMet++
+	}
+	if c.obs != nil {
+		c.obs.RouterWoken(routerID, offDur)
 	}
 }
 
@@ -532,6 +602,9 @@ func (c *Controller) PostCycle(routerID int) {
 		pm.offSince = c.now
 		pm.idleCycles = 0
 		c.stats[c.laneOf[routerID]].Gatings++
+		if c.obs != nil {
+			c.obs.RouterGated(routerID)
+		}
 	}
 }
 
@@ -547,6 +620,13 @@ func (c *Controller) EpochBoundary(routerID int, ibu float64, feats []float64) {
 	st := &c.stats[c.laneOf[routerID]]
 	st.EpochDecisions++
 	st.ModeDecisions[m.Index()]++
+	if c.obs != nil {
+		pred := ibu
+		if c.pred != nil {
+			pred = c.pred.PredictIBU(routerID, ibu, feats)
+		}
+		c.obs.EpochDecision(routerID, ibu, pred, m)
+	}
 	if m == pm.mode {
 		return
 	}
@@ -554,6 +634,9 @@ func (c *Controller) EpochBoundary(routerID int, ibu float64, feats []float64) {
 	// new clock, billing static power at the higher of the two modes.
 	st.ModeSwitches++
 	old := pm.mode
+	if c.obs != nil {
+		c.obs.ModeSwitched(routerID, old, m)
+	}
 	pm.mode = m
 	pm.switchLeft = vr.CostsFor(m).TSwitch
 	pm.switchBill = old

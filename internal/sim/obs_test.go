@@ -1,0 +1,251 @@
+// Observability-layer integration tests: per-shard metric lanes must
+// fold to the serial run's totals, the obs mirrors must agree with both
+// the engine's Result diagnostics and the controller's policy.Stats (one
+// source of truth, cross-checked), the engine-phase tracer must emit
+// valid Chrome trace_event JSONL covering the sweep/landing/barrier
+// phases, and sourcing the per-epoch series through obs must leave the
+// figure pipeline's CSV bytes untouched.
+package sim_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// runObserved executes one banded sharded configuration with a fresh
+// Metrics attached and the parallel-sweep threshold floored.
+func runObserved(t *testing.T, shards int, linkTicks int64, tracer *obs.Tracer) (*sim.Result, *obs.Metrics) {
+	t.Helper()
+	topo := topology.NewMesh(8, 16)
+	observer := &obs.Observer{Metrics: obs.NewMetrics(), Tracer: tracer}
+	res, err := sim.Run(sim.Config{
+		Topo:           topo,
+		Spec:           policy.DozzNoC(policy.ReactiveSelector{}),
+		Trace:          bandedTrace(topo, 20_000),
+		LinkTicks:      linkTicks,
+		Shards:         shards,
+		ShardMinActive: -1,
+		Obs:            observer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, observer.Metrics
+}
+
+// TestObsLaneFoldMatchesSerial is the acceptance check for the staging
+// lanes: a Shards=4 run's folded totals — events routed through
+// shard-goroutine lanes during concurrent sweeps — must equal the
+// Shards=1 run's, where everything folds on the engine goroutine.
+func TestObsLaneFoldMatchesSerial(t *testing.T) {
+	serialRes, serialM := runObserved(t, 1, 0, nil)
+	shardedRes, shardedM := runObserved(t, 4, 0, nil)
+	serial, sharded := serialM.Snapshot(), shardedM.Snapshot()
+	if shardedRes.ParallelTicks == 0 {
+		t.Fatal("Shards=4 never swept concurrently; the lane-fold check is vacuous")
+	}
+	if serialRes.ParallelTicks != 0 {
+		t.Fatalf("Shards=1 counted %d parallel ticks", serialRes.ParallelTicks)
+	}
+	if serial.Gatings == 0 || serial.Wakes == 0 || serial.ModeSwitches == 0 {
+		t.Fatalf("serial run saw no events to fold: %+v", serial)
+	}
+	if sharded.Gatings != serial.Gatings ||
+		sharded.Wakes != serial.Wakes ||
+		sharded.WakeOffTicks != serial.WakeOffTicks ||
+		sharded.ModeSwitches != serial.ModeSwitches ||
+		sharded.EpochDecisions != serial.EpochDecisions ||
+		sharded.LazyTicks != serial.LazyTicks ||
+		sharded.ResidencyTicks != serial.ResidencyTicks {
+		t.Errorf("sharded lane fold differs from serial:\nsharded: %+v\nserial:  %+v", sharded, serial)
+	}
+	// The per-epoch rollup deltas must sum back to the totals they were
+	// drained from — and epoch for epoch the two runs must agree.
+	se, pe := serialM.Epochs(), shardedM.Epochs()
+	if len(se) == 0 || len(se) != len(pe) {
+		t.Fatalf("epoch rollup counts differ: serial %d, sharded %d", len(se), len(pe))
+	}
+	var g, w, ms, lz int64
+	for i := range pe {
+		if pe[i].Gatings != se[i].Gatings || pe[i].Wakes != se[i].Wakes ||
+			pe[i].ModeSwitches != se[i].ModeSwitches || pe[i].AvgIBU != se[i].AvgIBU ||
+			pe[i].ResidencyDelta != se[i].ResidencyDelta ||
+			pe[i].StaticJDelta != se[i].StaticJDelta || pe[i].DynamicJDelta != se[i].DynamicJDelta {
+			t.Fatalf("epoch %d rollup differs:\nsharded: %+v\nserial:  %+v", i, pe[i], se[i])
+		}
+		g += pe[i].Gatings
+		w += pe[i].Wakes
+		ms += pe[i].ModeSwitches
+		lz += pe[i].LazyTicks
+	}
+	// Totals may exceed the epoch sums only by the post-boundary
+	// remainder folded at FinishRun; for these drained counters the final
+	// partial epoch still folds, so the sums must not exceed the totals.
+	if g > sharded.Gatings || w > sharded.Wakes || ms > sharded.ModeSwitches || lz > sharded.LazyTicks {
+		t.Errorf("epoch deltas overrun totals: g=%d/%d w=%d/%d ms=%d/%d lz=%d/%d",
+			g, sharded.Gatings, w, sharded.Wakes, ms, sharded.ModeSwitches, lz, sharded.LazyTicks)
+	}
+}
+
+// TestObsMirrorsEngineDiagnostics pins the one-source-of-truth contract:
+// the obs snapshot's scheduling mirrors must equal the engine's Result
+// diagnostics, and its event totals must equal the controller's
+// policy.Stats, on a run that exercises every accelerated path
+// (concurrent sweeps, parallel wire landings, lazy deferral).
+func TestObsMirrorsEngineDiagnostics(t *testing.T) {
+	res, m := runObserved(t, 4, 2, nil)
+	snap := m.Snapshot()
+	if res.ParallelTicks == 0 || res.ParallelLandings == 0 || res.LazySkippedRouterTicks == 0 {
+		t.Fatalf("accelerated paths did not all engage: parallel=%d landings=%d lazy=%d",
+			res.ParallelTicks, res.ParallelLandings, res.LazySkippedRouterTicks)
+	}
+	if snap.ParallelTicks != res.ParallelTicks {
+		t.Errorf("obs ParallelTicks %d != Result %d", snap.ParallelTicks, res.ParallelTicks)
+	}
+	if snap.ParallelLandings != res.ParallelLandings {
+		t.Errorf("obs ParallelLandings %d != Result %d", snap.ParallelLandings, res.ParallelLandings)
+	}
+	if snap.FastForwardedTicks != res.FastForwardedTicks {
+		t.Errorf("obs FastForwardedTicks %d != Result %d", snap.FastForwardedTicks, res.FastForwardedTicks)
+	}
+	if snap.LazyTicks != res.LazySkippedRouterTicks {
+		t.Errorf("obs LazyTicks %d != Result %d", snap.LazyTicks, res.LazySkippedRouterTicks)
+	}
+	if snap.Gatings != res.Policy.Gatings {
+		t.Errorf("obs Gatings %d != policy %d", snap.Gatings, res.Policy.Gatings)
+	}
+	if snap.Wakes != res.Policy.Wakes {
+		t.Errorf("obs Wakes %d != policy %d", snap.Wakes, res.Policy.Wakes)
+	}
+	if snap.ModeSwitches != res.Policy.ModeSwitches {
+		t.Errorf("obs ModeSwitches %d != policy %d", snap.ModeSwitches, res.Policy.ModeSwitches)
+	}
+	if snap.EpochDecisions != res.Policy.EpochDecisions {
+		t.Errorf("obs EpochDecisions %d != policy %d", snap.EpochDecisions, res.Policy.EpochDecisions)
+	}
+	var sweeps int64
+	for _, n := range snap.ShardSweeps {
+		sweeps += n
+	}
+	if sweeps == 0 {
+		t.Error("no per-shard sweeps recorded")
+	}
+	if snap.Tick != res.Ticks {
+		t.Errorf("obs Tick %d != Result.Ticks %d", snap.Tick, res.Ticks)
+	}
+}
+
+// traceEvent is the subset of the Chrome trace_event schema the tests
+// decode.
+type traceEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur"`
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+}
+
+// TestObsTraceJSONL runs a Shards=4 configuration with tracing on and
+// checks the output is valid JSONL Chrome trace events covering the
+// engine's sweep, landing and barrier phases.
+func TestObsTraceJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	res, _ := runObserved(t, 4, 2, tr)
+	if res.ParallelTicks == 0 || res.ParallelLandings == 0 {
+		t.Fatalf("parallel paths did not engage: ticks=%d landings=%d", res.ParallelTicks, res.ParallelLandings)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var ev traceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Dur <= 0 {
+				t.Fatalf("complete span with non-positive dur: %+v", ev)
+			}
+		case "i", "M":
+		default:
+			t.Fatalf("unexpected event phase %q: %+v", ev.Ph, ev)
+		}
+		if ev.Ph != "M" && ev.TS < 0 {
+			t.Fatalf("negative timestamp: %+v", ev)
+		}
+		if ev.PID != 1 {
+			t.Fatalf("unexpected pid: %+v", ev)
+		}
+		seen[ev.Name]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("tracer emitted nothing")
+	}
+	for _, name := range []string{"parallel-tick", "sweep", "land", "catch-up-barrier", "epoch", "thread_name", "process_name"} {
+		if seen[name] == 0 {
+			t.Errorf("trace is missing %q events (saw %v)", name, seen)
+		}
+	}
+}
+
+// TestObsSeriesGoldenCSV is the figure-pipeline regression: the
+// per-epoch series now flows through obs.Metrics.FoldEpoch, and its CSV
+// export must stay byte-identical to the golden file pinned before the
+// relocation — with no observer (the engine's internal Metrics), and
+// with an explicitly attached one.
+func TestObsSeriesGoldenCSV(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "series_golden.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.NewMesh(4, 4)
+	tr := traffic.Synthetic(topo, traffic.UniformRandom, 0.01, 5000, 2)
+	for _, attach := range []bool{false, true} {
+		cfg := sim.Config{
+			Topo:          topo,
+			Spec:          policy.DozzNoC(policy.ReactiveSelector{}),
+			Trace:         tr,
+			CollectSeries: true,
+		}
+		var observer *obs.Observer
+		if attach {
+			observer = obs.New()
+			cfg.Obs = observer
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Series.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), golden) {
+			t.Errorf("attach=%v: series CSV differs from golden:\ngot:\n%s\nwant:\n%s", attach, buf.Bytes(), golden)
+		}
+		if attach && observer.Metrics.Series() != res.Series {
+			t.Error("Result.Series is not the attached observer's series")
+		}
+	}
+}

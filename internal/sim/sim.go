@@ -21,6 +21,7 @@ import (
 	"repro/internal/flit"
 	"repro/internal/ml"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/stats"
@@ -115,6 +116,14 @@ type Config struct {
 	// the equivalence tests use to maximize parallel coverage on small
 	// meshes.
 	ShardMinActive int
+	// Obs attaches the observability layer (package obs): per-shard
+	// metric lanes folded at epoch boundaries, and optionally an engine
+	// phase tracer. Optional and purely diagnostic — a nil Observer
+	// leaves every hook a not-taken nil branch, and an attached one
+	// never changes results. When CollectSeries is set without an
+	// Observer the engine creates an internal Metrics, so the per-epoch
+	// series always flows through the same fold path.
+	Obs *obs.Observer
 }
 
 // Workload is a closed-loop traffic source (e.g. the mcsim multicore
@@ -245,9 +254,12 @@ type Result struct {
 	ParallelTicks int64
 	// ParallelLandings counts due wire transits landed by the shard
 	// workers through their own staging lanes instead of serially on the
-	// engine goroutine (0 when Shards is 1, when LinkTicks is 0 — zero
-	//-latency links land inline — or when no due transit coincided with
-	// a concurrent tick). Diagnostic only, like ParallelTicks.
+	// engine goroutine. It is 0 when Shards is 1, when LinkTicks is 0
+	// (zero-latency links land inline), or when no due transit coincided
+	// with a concurrent tick. Diagnostic only, like ParallelTicks. All
+	// four scheduling diagnostics above are mirrored by an attached
+	// obs.Metrics (Config.Obs), whose snapshot must agree with them —
+	// the obs tests cross-check the two so neither count can rot.
 	ParallelLandings int64
 
 	PacketsInjected  int64
@@ -415,7 +427,13 @@ type engine struct {
 	slotsPerR int64
 	pending   [][]float64 // features awaiting next epoch's label
 	dataset   *ml.Dataset
-	series    *stats.Series
+
+	// Observability (package obs). obsM owns the per-epoch series and
+	// mirrors the scheduling diagnostics; tr emits engine-phase spans.
+	// Both are nil unless attached (or, for obsM, implied by
+	// CollectSeries), and every use is a branch on the nil pointer.
+	obsM *obs.Metrics
+	tr   *obs.Tracer
 
 	latencies  []int64
 	sumLatency int64
@@ -526,6 +544,12 @@ func (e *engine) catchUpTo(r int, target int64) {
 		e.net.Routers[r].SkipCycles(cycles)
 	}
 	e.shards[e.shardOf[r]].lazyTicks += delta
+	if e.obsM != nil {
+		// Owner-only like the lazyTicks write above: during a concurrent
+		// sweep this is only reached via WakeRequest, whose targets the
+		// isolation predicate keeps inside the calling shard.
+		e.obsM.OnLazyCatchUp(int(e.shardOf[r]), delta)
+	}
 	e.lastTick[r] = target
 }
 
@@ -647,6 +671,9 @@ func (e *engine) stepRouter(r, shard int) {
 // tick at activation.
 func (e *engine) sweepShard(si int, tick int64) {
 	s := &e.shards[si]
+	if e.obsM != nil {
+		e.obsM.OnSweep(si)
+	}
 	for wi := range s.active {
 		base := s.lo + wi<<6
 		w := s.active[wi]
@@ -685,13 +712,7 @@ func (e *engine) parallelOK() bool {
 	if len(e.shards) == 1 {
 		return false
 	}
-	n := 0
-	for si := range e.shards {
-		for _, w := range e.shards[si].active {
-			n += bits.OnesCount64(w)
-		}
-	}
-	if n < e.minActive {
+	if e.activeCount() < e.minActive {
 		return false
 	}
 	for _, m := range e.margins {
@@ -702,6 +723,34 @@ func (e *engine) parallelOK() bool {
 		}
 	}
 	return true
+}
+
+// activeCount is the current active-set population (every router when
+// active-set scheduling is off).
+func (e *engine) activeCount() int {
+	if !e.lazy {
+		return len(e.ibuNum)
+	}
+	n := 0
+	for si := range e.shards {
+		for _, w := range e.shards[si].active {
+			n += bits.OnesCount64(w)
+		}
+	}
+	return n
+}
+
+// serialReason mirrors parallelOK's decision for the tracer: why the
+// current tick is sweeping serially. Only evaluated when tracing is on,
+// so the duplicate popcount is never paid on the default path.
+func (e *engine) serialReason() string {
+	if len(e.shards) == 1 {
+		return "single-shard"
+	}
+	if e.activeCount() < e.minActive {
+		return "below-min-active"
+	}
+	return "margin-not-inert"
 }
 
 // startWorkers spawns one worker goroutine per shard beyond the first;
@@ -769,9 +818,6 @@ func Run(cfg Config) (*Result, error) {
 		}
 		e.dataset = ml.NewDataset(names)
 	}
-	if cfg.CollectSeries {
-		e.series = &stats.Series{EpochTicks: cfg.EpochTicks}
-	}
 	_, slots := e.net.Routers[0].Occupancy()
 	e.slotsPerR = int64(slots)
 
@@ -814,6 +860,29 @@ func Run(cfg Config) (*Result, error) {
 	}
 	e.net.SetShards(k)
 	e.ctrl.SetStatsLanes(laneStarts)
+
+	// Observability wiring. Metrics lanes mirror the shard layout just
+	// built (laneStarts), so shard-goroutine hooks stay owner-only; the
+	// controller's event hooks activate only here, when an observer is
+	// actually attached.
+	if cfg.Obs != nil {
+		e.obsM = cfg.Obs.Metrics
+		e.tr = cfg.Obs.Tracer
+	}
+	if e.obsM == nil && cfg.CollectSeries {
+		e.obsM = obs.NewMetrics()
+	}
+	runLabel := cfg.Spec.Name + "/workload"
+	if cfg.Trace != nil {
+		runLabel = cfg.Spec.Name + "/" + cfg.Trace.Name
+	}
+	if e.obsM != nil {
+		e.obsM.BindRun(runLabel, laneStarts, nR, cfg.EpochTicks, cfg.CollectSeries)
+		e.ctrl.SetObserver(e.obsM)
+	}
+	if e.tr != nil {
+		e.tr.BeginRun(runLabel, k)
+	}
 
 	e.lazy = !cfg.NoActiveSet
 	if e.lazy {
@@ -926,6 +995,12 @@ func Run(cfg Config) (*Result, error) {
 			}
 			if delta > 0 {
 				e.ffTicks += delta
+				if e.obsM != nil {
+					e.obsM.OnFastForward(delta)
+				}
+				if e.tr != nil {
+					e.tr.Span(obs.EngineTrack, "fast-forward", "", tick, delta)
+				}
 				tick += delta
 				if tick >= cfg.MaxTicks {
 					break
@@ -965,7 +1040,8 @@ func Run(cfg Config) (*Result, error) {
 				if !e.workersUp {
 					e.startWorkers()
 				}
-				e.parallelLandings += int64(e.net.StageDueLandings(e.shardOf))
+				staged := e.net.StageDueLandings(e.shardOf)
+				e.parallelLandings += int64(staged)
 				e.wg.Add(len(e.shards) - 1)
 				for si := 1; si < len(e.shards); si++ {
 					e.shards[si].work <- tick
@@ -974,13 +1050,33 @@ func Run(cfg Config) (*Result, error) {
 				e.sweepShard(0, tick)
 				e.wg.Wait()
 				e.parallelTicks++
+				if e.obsM != nil {
+					e.obsM.OnParallelTick(staged)
+				}
+				if e.tr != nil {
+					// Emitted after the barrier, from the engine goroutine —
+					// the tracer is never touched by shard workers.
+					for si := range e.shards {
+						e.tr.Span(obs.ShardTrack(si), "sweep", "", tick, 1)
+					}
+					if staged > 0 {
+						e.tr.Instant(obs.EngineTrack, "land", tick, int64(staged))
+					}
+					e.tr.Span(obs.EngineTrack, "parallel-tick", "", tick, 1)
+				}
 			} else {
+				if e.tr != nil {
+					e.tr.Span(obs.EngineTrack, "serial-sweep", e.serialReason(), tick, 1)
+				}
 				e.net.DeliverDue()
 				for si := range e.shards {
 					e.sweepShard(si, tick)
 				}
 			}
 		} else {
+			if e.tr != nil {
+				e.tr.Span(obs.EngineTrack, "sweep-eager", "", tick, 1)
+			}
 			e.net.DeliverDue()
 			for r := 0; r < nR; r++ {
 				e.stepRouter(r, 0)
@@ -996,8 +1092,14 @@ func Run(cfg Config) (*Result, error) {
 				// Catch-up barrier: epoch IBU, feature vectors, series
 				// snapshots and meter sums must see fully-advanced state.
 				e.catchUpAll(tick + 1)
+				if e.tr != nil {
+					e.tr.Instant(obs.EngineTrack, "catch-up-barrier", tick+1, -1)
+				}
 			}
 			e.epochBoundary(timing.Tick(tick + 1))
+			if e.tr != nil {
+				e.tr.Instant(obs.EngineTrack, "epoch", tick+1, -1)
+			}
 			if e.lazy {
 				e.refreshActive(tick + 1)
 			}
@@ -1014,6 +1116,24 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if e.lazy {
 		e.catchUpAll(tick)
+	}
+	if e.obsM != nil {
+		// Fold whatever accrued after the last epoch boundary (partial
+		// epochs, the final catch-up flush) so the snapshot covers the
+		// whole run.
+		hits, misses := e.net.PoolStats()
+		e.obsM.FinishRun(tick, obs.EpochFold{
+			FlitsDelivered: e.net.FlitsDelivered(),
+			ActiveRouters:  e.activeCount(),
+			PoolHits:       hits,
+			PoolMisses:     misses,
+		})
+	}
+	if e.tr != nil {
+		// Close this run's pending spans and push them to the writer; the
+		// error (if any) is sticky and resurfaces on the owner's final
+		// Flush before it closes the file.
+		e.tr.Flush() //nolint:errcheck
 	}
 	return e.result(tick, drained), nil
 }
@@ -1060,7 +1180,6 @@ func (e *engine) epochBoundary(now timing.Tick) {
 		}
 	}
 	den := float64(e.slotsPerR) * float64(e.cfg.EpochTicks)
-	var sample stats.EpochSample
 	sumIBU := 0.0
 	for r := range e.ibuNum {
 		ibu := float64(e.ibuNum[r]) / den
@@ -1073,27 +1192,24 @@ func (e *engine) epochBoundary(now timing.Tick) {
 		e.pending[r] = feats
 		e.ctrl.EpochBoundary(r, ibu, feats)
 	}
-	if e.series == nil {
+	if e.obsM == nil {
 		return
 	}
-	sample.Tick = int64(now)
-	sample.AvgIBU = sumIBU / float64(len(e.ibuNum))
-	for r := range e.ibuNum {
-		switch e.ctrl.State(r) {
-		case policy.Inactive:
-			sample.OffRouters++
-		case policy.Wakeup:
-			sample.WakingRouters++
-		default:
-			sample.ModeRouters[e.ctrl.Mode(r).Index()]++
-		}
-	}
-	sample.FlitsDelivered = e.net.FlitsDelivered()
-	for i := range e.meter {
-		sample.StaticJ += e.meter[i].StaticJoules()
-		sample.DynamicJ += e.meter[i].DynamicJoules()
-	}
-	e.series.Add(sample)
+	// The epoch fold owns everything derived: the stats.EpochSample (its
+	// field computation is the engine's pre-obs code, so series CSVs are
+	// byte-identical), lane draining, residency/energy deltas, and the
+	// live snapshot. It runs here — after Commit and the catch-up
+	// barrier, with every shard worker parked — which is what makes the
+	// single-threaded drain of the shard lanes safe.
+	hits, misses := e.net.PoolStats()
+	e.obsM.FoldEpoch(obs.EpochFold{
+		Now:            int64(now),
+		SumIBU:         sumIBU,
+		FlitsDelivered: e.net.FlitsDelivered(),
+		ActiveRouters:  e.activeCount(),
+		PoolHits:       hits,
+		PoolMisses:     misses,
+	}, e.ctrl, e.meter)
 }
 
 func (e *engine) result(ticks int64, drained bool) *Result {
@@ -1125,7 +1241,9 @@ func (e *engine) result(ticks int64, drained bool) *Result {
 		res.AvgLatencyNS = res.AvgLatencyTicks * timing.TickSeconds * 1e9
 	}
 	res.Latency = stats.Summarize(e.latencies)
-	res.Series = e.series
+	if e.cfg.CollectSeries && e.obsM != nil {
+		res.Series = e.obsM.Series()
+	}
 	if ticks > 0 {
 		res.Throughput = float64(res.FlitsDelivered) / float64(ticks)
 	}
