@@ -3,7 +3,7 @@ BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
 # bench-gate baseline: newest committed snapshot unless overridden.
 BASE ?= $(shell ls BENCH_*.json 2>/dev/null | sort | tail -1)
 
-.PHONY: build test vet race race-sharded bench bench-compare bench-gate obs-overhead check golden-update
+.PHONY: build test vet race race-sharded fuzz-smoke bench bench-compare bench-gate obs-overhead check golden-update
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,19 @@ race:
 # tick engine's bit-exactness proofs (DESIGN.md §5c-5d) under the race
 # detector — concurrent sweeps plus the destination-shard wire-landing
 # path under banded and randomized heavy traffic — fast enough to fail a
-# sharding bug before the full race sweep runs.
+# sharding bug before the full race sweep runs. The cosim daemon's
+# multi-client and backpressure tests (DESIGN.md §5f) ride along: they
+# are the multiplexing layer's race gate.
 race-sharded:
 	$(GO) test -race -run 'TestShardedSweepEngagesAndMatchesSerial|TestParallelLandings|TestActiveSetEquivalence' ./internal/sim
+	$(GO) test -race -run 'TestDaemonConcurrentClients|TestDaemonBackpressureBusy|TestDaemonServeTCP' ./internal/cosim
+
+# Protocol fuzz smoke: run the cosim frame-decoder fuzz target for 10s
+# on top of its committed seed corpus (internal/cosim/testdata/fuzz).
+# Catches decoder panics/hangs on malformed frames before they ship;
+# run with a longer -fuzztime locally when touching proto.go.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/cosim
 
 # Benchmark snapshot: the JSON log (test2json stream) goes to
 # $(BENCH_FILE) for later comparison; the human-readable text is echoed
@@ -73,9 +83,11 @@ obs-overhead:
 	DOZZNOC_OBS=1 $(GO) test -bench=BenchmarkMediumLoad -benchmem -count=$(OBS_COUNT) -json . > .obs-on.json
 	$(GO) run ./cmd/benchtxt -gate -pattern 'BenchmarkMediumLoad' -max-regress 2 .obs-off.json .obs-on.json
 
-# CI entry point: vet + full tests + sharded-equivalence race gate +
-# full race detector sweep + observability overhead gate.
-check: vet test race-sharded race obs-overhead
+# CI entry point: vet + full tests (includes the cosim protocol and
+# bit-exact daemon-equivalence suites) + sharded-equivalence race gate +
+# full race detector sweep + protocol fuzz smoke + observability
+# overhead gate.
+check: vet test race-sharded race fuzz-smoke obs-overhead
 
 # Regenerate the cmd/experiments golden snapshots after an intentional
 # output change (review the diff before committing).

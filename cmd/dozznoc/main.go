@@ -46,6 +46,7 @@ func main() {
 		rtTrace    = flag.String("runtimetrace", "", "write a Go execution trace (go tool trace) to this file")
 		obsAddr    = flag.String("obs-addr", "", "serve live expvar/pprof observability on this address (e.g. localhost:6060)")
 		traceOut   = flag.String("trace-out", "", "write engine-phase spans as a Perfetto/chrome://tracing JSONL file")
+		traceWin   = flag.Int64("trace-window", 0, "keep only the trailing N base ticks of the phase trace (0 = everything)")
 	)
 	flag.Parse()
 
@@ -57,7 +58,7 @@ func main() {
 	}
 	defer stopProfiles()
 
-	observer, closeObs, err := cli.StartObs(*obsAddr, *traceOut)
+	observer, closeObs, err := cli.StartObs(*obsAddr, *traceOut, *traceWin)
 	if err != nil {
 		fatal(err)
 	}

@@ -37,6 +37,7 @@ type runConfig struct {
 	meshH    int
 	obsAddr  string // live expvar/pprof endpoint address ("" = off)
 	traceOut string // engine-phase Perfetto trace path ("" = off)
+	traceWin int64  // phase-trace retention window in base ticks (0 = everything)
 
 	// configureSuite, when non-nil, is applied to every suite the run
 	// builds before any simulation (tests install passthrough ML models
@@ -60,6 +61,7 @@ func main() {
 	flag.StringVar(&rtTrace, "runtimetrace", "", "write a Go execution trace (go tool trace) to this file")
 	flag.StringVar(&rc.obsAddr, "obs-addr", "", "serve live expvar/pprof observability on this address (e.g. localhost:6060)")
 	flag.StringVar(&rc.traceOut, "trace-out", "", "write engine-phase spans as a Perfetto/chrome://tracing JSONL file")
+	flag.Int64Var(&rc.traceWin, "trace-window", 0, "keep only the trailing N base ticks of the phase trace (0 = everything)")
 	flag.Parse()
 
 	stopProfiles, err := cli.StartProfiles(cpuProfile, rtTrace, memProfile)
@@ -137,7 +139,7 @@ func run(out, errOut io.Writer, rc runConfig) error {
 	// The observer rides along on every sequential single-run entry point
 	// (core.Options.Obs documents why the parallel paths skip it); the
 	// live endpoint shows whichever simulation folded an epoch last.
-	observer, closeObs, err := cli.StartObs(rc.obsAddr, rc.traceOut)
+	observer, closeObs, err := cli.StartObs(rc.obsAddr, rc.traceOut, rc.traceWin)
 	if err != nil {
 		return err
 	}

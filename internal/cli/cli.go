@@ -150,11 +150,15 @@ func StartProfiles(cpuPath, runtimeTracePath, memPath string) (stop func(), err 
 // StartObs wires the observability flags shared by the commands: it
 // starts the live expvar/pprof endpoint when addr is non-empty
 // (-obs-addr) and opens a Perfetto-loadable engine-phase trace when
-// tracePath is non-empty (-trace-out). It returns the Observer to attach
-// to runs — nil when both flags are off, which disables the layer
-// entirely — and a close function for the caller to defer; close flushes
-// the phase trace and shuts the endpoint down.
-func StartObs(addr, tracePath string) (*obs.Observer, func(), error) {
+// tracePath is non-empty (-trace-out). traceWindow > 0 (-trace-window)
+// selects the tracer's time-window retention mode: the file keeps only
+// events from the trailing traceWindow base ticks at each flush, which
+// is what makes always-on tracing viable for long-running processes
+// (the cosim daemon); 0 streams everything. It returns the Observer to
+// attach to runs — nil when both flags are off, which disables the
+// layer entirely — and a close function for the caller to defer; close
+// flushes the phase trace and shuts the endpoint down.
+func StartObs(addr, tracePath string, traceWindow int64) (*obs.Observer, func(), error) {
 	var (
 		srv    *obs.Server
 		tf     *os.File
@@ -177,7 +181,7 @@ func StartObs(addr, tracePath string) (*obs.Observer, func(), error) {
 			}
 			return nil, nil, fmt.Errorf("cli: create phase trace: %w", err)
 		}
-		tracer = obs.NewTracer(tf)
+		tracer = obs.NewTracerWindow(tf, traceWindow)
 	}
 	closeFn := func() {
 		if tracer != nil {

@@ -101,7 +101,7 @@ func TestStartProfilesRuntimeTrace(t *testing.T) {
 
 func TestStartObs(t *testing.T) {
 	// Both flags off: no observer, close is a no-op.
-	o, closeObs, err := StartObs("", "")
+	o, closeObs, err := StartObs("", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestStartObs(t *testing.T) {
 	// Trace only: an observer with metrics and a tracer, file written on
 	// close.
 	path := filepath.Join(t.TempDir(), "phases.jsonl")
-	o, closeObs, err = StartObs("", path)
+	o, closeObs, err = StartObs("", path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestStartObs(t *testing.T) {
 	}
 
 	// Endpoint only: metrics observer, no tracer.
-	o, closeObs, err = StartObs("127.0.0.1:0", "")
+	o, closeObs, err = StartObs("127.0.0.1:0", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

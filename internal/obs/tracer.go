@@ -38,6 +38,26 @@ type Tracer struct {
 	started bool  // process metadata written
 
 	pending []span // per-track coalescing buffer, indexed by tid
+
+	// Retention window (NewTracerWindow): events are buffered in ring
+	// instead of streamed, and Flush writes only those whose end
+	// timestamp falls within the last retain virtual µs (= base ticks)
+	// of the high-water mark. Metadata lines (process/track names) are
+	// collected in preamble and always written, so the output stays
+	// loadable. retain == 0 is the unbounded streaming mode.
+	retain    int64
+	preamble  []string
+	ring      []retEvent
+	ringSweep int  // buffered-event count that triggers the next sweep
+	flushed   bool // retained events already written; ring restarts empty
+}
+
+// retEvent is one buffered line in retention mode, keyed by the virtual
+// timestamp at which the event ends (ts for instants, ts+dur for spans):
+// an old span still overlapping the window is retained.
+type retEvent struct {
+	end  int64
+	line string
 }
 
 type span struct {
@@ -52,6 +72,23 @@ type span struct {
 // Flush). Writes are buffered.
 func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// NewTracerWindow is NewTracer with time-window retention: instead of
+// streaming every event, the tracer buffers them and Flush writes only
+// those whose end timestamp falls within the trailing retainTicks of
+// virtual time (1 tick = 1 µs), plus the metadata preamble that keeps
+// the file loadable. This bounds both file size and memory for
+// always-on tracing in long-running deployments (the cosim daemon):
+// what survives is exactly the unbounded tracer's tail, which
+// TestTracerWindowMatchesTail pins. retainTicks <= 0 selects the
+// unbounded streaming mode.
+func NewTracerWindow(w io.Writer, retainTicks int64) *Tracer {
+	t := NewTracer(w)
+	if retainTicks > 0 {
+		t.retain = retainTicks
+	}
+	return t
 }
 
 // BeginRun starts a new traced run: closes any pending spans, moves the
@@ -73,7 +110,7 @@ func (t *Tracer) BeginRun(label string, shards int) {
 	for si := 0; si < shards; si++ {
 		t.meta("thread_name", ShardTrack(si), fmt.Sprintf("shard %d", si))
 	}
-	t.event(`{"name":%q,"ph":"i","ts":%d,"pid":1,"tid":%d,"s":"p"}`, "run: "+label, t.base, EngineTrack)
+	t.event(t.base, `{"name":%q,"ph":"i","ts":%d,"pid":1,"tid":%d,"s":"p"}`, "run: "+label, t.base, EngineTrack)
 }
 
 // Span records a phase of dur ticks starting at tick start on track tid.
@@ -109,18 +146,38 @@ func (t *Tracer) Instant(tid int, name string, tick, n int64) {
 		t.maxTS = ts
 	}
 	if n >= 0 {
-		t.event(`{"name":%q,"ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t","args":{"n":%d}}`, name, ts, tid, n)
+		t.event(ts, `{"name":%q,"ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t","args":{"n":%d}}`, name, ts, tid, n)
 		return
 	}
-	t.event(`{"name":%q,"ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t"}`, name, ts, tid)
+	t.event(ts, `{"name":%q,"ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t"}`, name, ts, tid)
 }
 
 // Flush closes pending spans and drains the buffer; it returns the first
 // write error encountered over the Tracer's lifetime. Call it before
 // closing the underlying file; the Tracer remains usable (BeginRun)
-// afterwards.
+// afterwards. In retention mode (NewTracerWindow) this is the emission
+// point: the metadata preamble (first Flush only) and the buffered
+// events still inside the trailing window are written, and the buffer
+// restarts empty — events emitted after a Flush accumulate toward the
+// next one.
 func (t *Tracer) Flush() error {
 	t.flushPending()
+	if t.retain > 0 {
+		if !t.flushed {
+			t.flushed = true
+			for _, line := range t.preamble {
+				t.write(line)
+			}
+			t.preamble = nil
+		}
+		cutoff := t.maxTS - t.retain
+		for _, ev := range t.ring {
+			if ev.end >= cutoff {
+				t.write(ev.line)
+			}
+		}
+		t.ring = t.ring[:0]
+	}
 	if err := t.w.Flush(); err != nil && t.err == nil {
 		t.err = err
 	}
@@ -138,26 +195,84 @@ func (t *Tracer) flushPending() {
 
 func (t *Tracer) emitSpan(tid int, p *span) {
 	if p.detail != "" {
-		t.event(`{"name":%q,"ph":"X","ts":%d,"dur":%d,"pid":1,"tid":%d,"args":{"reason":%q}}`,
+		t.event(p.end, `{"name":%q,"ph":"X","ts":%d,"dur":%d,"pid":1,"tid":%d,"args":{"reason":%q}}`,
 			p.name, p.start, p.end-p.start, tid, p.detail)
 		return
 	}
-	t.event(`{"name":%q,"ph":"X","ts":%d,"dur":%d,"pid":1,"tid":%d}`, p.name, p.start, p.end-p.start, tid)
+	t.event(p.end, `{"name":%q,"ph":"X","ts":%d,"dur":%d,"pid":1,"tid":%d}`, p.name, p.start, p.end-p.start, tid)
 }
 
+// meta lines carry no timestamp: they stream directly in unbounded mode
+// and join the always-written preamble (deduplicated — BeginRun re-emits
+// track names each run) in retention mode.
 func (t *Tracer) meta(kind string, tid int, name string) {
+	var line string
 	if tid < 0 {
-		t.event(`{"name":%q,"ph":"M","pid":1,"args":{"name":%q}}`, kind, name)
+		line = fmt.Sprintf(`{"name":%q,"ph":"M","pid":1,"args":{"name":%q}}`+"\n", kind, name)
+	} else {
+		line = fmt.Sprintf(`{"name":%q,"ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`+"\n", kind, tid, name)
+	}
+	if t.retain > 0 {
+		for _, p := range t.preamble {
+			if p == line {
+				return
+			}
+		}
+		t.preamble = append(t.preamble, line)
 		return
 	}
-	t.event(`{"name":%q,"ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, kind, tid, name)
+	t.write(line)
 }
 
-func (t *Tracer) event(format string, args ...any) {
+// event formats one timestamped line; end is the virtual µs at which the
+// event stops mattering (ts for instants, ts+dur for spans), the
+// retention key.
+func (t *Tracer) event(end int64, format string, args ...any) {
 	if t.err != nil {
 		return
 	}
-	if _, err := fmt.Fprintf(t.w, format+"\n", args...); err != nil {
+	line := fmt.Sprintf(format+"\n", args...)
+	if t.retain > 0 {
+		t.ring = append(t.ring, retEvent{end: end, line: line})
+		if len(t.ring) >= t.ringSweep {
+			t.sweepRing()
+		}
+		return
+	}
+	t.write(line)
+}
+
+// sweepRing drops buffered events that have already fallen out of the
+// window. It runs every time the buffer doubles past its post-sweep
+// size, so the cost is amortized O(1) per event and memory stays
+// proportional to the live window.
+func (t *Tracer) sweepRing() {
+	cutoff := t.maxTS - t.retain
+	live := t.ring[:0]
+	for _, ev := range t.ring {
+		if ev.end >= cutoff {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(t.ring); i++ {
+		t.ring[i] = retEvent{} // release retained line strings
+	}
+	t.ring = live
+	t.ringSweep = 2 * len(live)
+	if t.ringSweep < minRingSweep {
+		t.ringSweep = minRingSweep
+	}
+}
+
+// minRingSweep is the smallest buffered-event count that triggers a
+// retention sweep.
+const minRingSweep = 256
+
+func (t *Tracer) write(line string) {
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.WriteString(line); err != nil {
 		t.err = err
 	}
 }

@@ -124,6 +124,12 @@ type Config struct {
 	// Observer the engine creates an internal Metrics, so the per-epoch
 	// series always flows through the same fold path.
 	Obs *obs.Observer
+
+	// forSession marks a config built by NewSession: injections arrive
+	// incrementally through Session.Schedule instead of a trace or
+	// workload, and time advances in caller-driven windows. Unexported:
+	// Run rejects it, and only NewSession sets it.
+	forSession bool
 }
 
 // Workload is a closed-loop traffic source (e.g. the mcsim multicore
@@ -157,7 +163,11 @@ func (c *Config) applyDefaults() error {
 	if c.Topo == nil {
 		return errors.New("sim: nil topology")
 	}
-	if c.Trace == nil && c.Workload == nil {
+	if c.forSession {
+		if c.Trace != nil || c.Workload != nil {
+			return errors.New("sim: a session drives injection itself; Trace and Workload must be nil")
+		}
+	} else if c.Trace == nil && c.Workload == nil {
 		return errors.New("sim: need a trace or a workload")
 	}
 	if c.Trace != nil && c.Workload != nil {
@@ -182,13 +192,18 @@ func (c *Config) applyDefaults() error {
 		c.EpochTicks = DefaultEpochTicks
 	}
 	if c.MaxTicks == 0 {
-		if c.Trace != nil {
+		switch {
+		case c.Trace != nil:
 			span := c.Trace.Horizon
 			if n := len(c.Trace.Entries); n > 0 && c.Trace.Entries[n-1].Time > span {
 				span = c.Trace.Entries[n-1].Time
 			}
 			c.MaxTicks = 4*span + 200_000
-		} else {
+		case c.forSession:
+			// A session's lifetime is open-ended; per-window budgets
+			// (Advance/Drain arguments) bound the work instead.
+			c.MaxTicks = 1 << 62
+		default:
 			c.MaxTicks = DefaultWorkloadMaxTicks
 		}
 	}
@@ -464,6 +479,19 @@ type engine struct {
 	workersUp bool
 
 	nextID uint64
+
+	// Stepping state shared by Run's one-shot loop and Session's
+	// caller-driven windows (stepUntil). entries is the pending
+	// injection schedule — the trace's entries for Run, the
+	// incrementally scheduled transfers for a Session — with cursor the
+	// first unconsumed index; tick is the next base tick to process and
+	// drained records a drain-mode stop (source exhausted, network
+	// empty).
+	entries   []traffic.Entry
+	cursor    int
+	tick      int64
+	drained   bool
+	ffEnabled bool
 }
 
 // canDefer reports whether a router may leave the active set: no
@@ -790,6 +818,23 @@ func (e *engine) stopWorkers() {
 
 // Run executes one simulation.
 func Run(cfg Config) (*Result, error) {
+	if cfg.forSession {
+		return nil, errors.New("sim: session configs run through NewSession")
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer e.stopWorkers()
+	e.stepUntil(e.cfg.MaxTicks, true)
+	e.finish()
+	return e.result(e.tick, e.drained), nil
+}
+
+// newEngine validates the config and builds a ready-to-step engine:
+// network, controller, shard layout, observability wiring and initial
+// active-set membership. Run and NewSession share it.
+func newEngine(cfg Config) (*engine, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
@@ -801,7 +846,6 @@ func Run(cfg Config) (*Result, error) {
 		ibuNum:  make([]int64, nR),
 		pending: make([][]float64, nR),
 	}
-	defer e.stopWorkers()
 	// The engine, not the controller, is the network's PowerView: its
 	// WakeRequest wrapper is the active-set activation hook.
 	e.net = network.New(cfg.Topo, cfg.VCs, cfg.Depth, cfg.Pipeline, e, e, e)
@@ -873,6 +917,9 @@ func Run(cfg Config) (*Result, error) {
 		e.obsM = obs.NewMetrics()
 	}
 	runLabel := cfg.Spec.Name + "/workload"
+	if cfg.forSession {
+		runLabel = cfg.Spec.Name + "/session"
+	}
 	if cfg.Trace != nil {
 		runLabel = cfg.Spec.Name + "/" + cfg.Trace.Name
 	}
@@ -902,39 +949,64 @@ func Run(cfg Config) (*Result, error) {
 		e.refreshActive(0)
 	}
 
-	var entries []traffic.Entry
 	if cfg.Trace != nil {
-		entries = cfg.Trace.Entries
+		e.entries = cfg.Trace.Entries
 		// One packet per entry and deliveries never exceed injections, so
 		// this capacity makes the per-delivery latency append allocation-free.
-		e.latencies = make([]int64, 0, len(entries))
+		e.latencies = make([]int64, 0, len(e.entries))
 	}
-	cursor := 0
-	drained := false
-	var tick int64
-	injectNow := func(p *flit.Packet) {
-		p.ID = e.nextID
-		e.nextID++
-		p.InjectAt = tick
-		e.net.Inject(p)
-		if !cfg.NoPathPunch {
-			e.punchPath(p.SrcCore, p.DstCore)
-		}
+	e.ffEnabled = !cfg.NoFastForward && cfg.Workload == nil
+	return e, nil
+}
+
+// injectNow hands a packet to the network at the tick currently being
+// processed (curTick), stamping it and punching its path.
+func (e *engine) injectNow(p *flit.Packet) {
+	p.ID = e.nextID
+	e.nextID++
+	p.InjectAt = e.curTick
+	e.net.Inject(p)
+	if !e.cfg.NoPathPunch {
+		e.punchPath(p.SrcCore, p.DstCore)
 	}
-	fastForward := !cfg.NoFastForward && cfg.Workload == nil
-	for tick = 0; tick < cfg.MaxTicks; tick++ {
+}
+
+// stepUntil processes base ticks in [e.tick, limit). With drainStop set
+// it additionally stops — returning true and recording e.drained — at
+// the end of the first tick where the injection source is exhausted and
+// the network empty, which is Run's termination rule; without it the
+// window runs to limit regardless (a Session advancing wall-clock time
+// on an idle or still-draining fabric). Run calls it once with
+// limit = MaxTicks; a Session calls it repeatedly with successive
+// window bounds, scheduling new entries in between. Both produce
+// bit-identical per-tick state because this is the only tick loop.
+func (e *engine) stepUntil(limit int64, drainStop bool) bool {
+	cfg := &e.cfg
+	nR := len(e.ibuNum)
+	tick := e.tick
+	defer func() { e.tick = tick }()
+	for ; tick < limit; tick++ {
 		// Fast-forward: when the fabric is quiescent, every tick until the
 		// next injection, epoch boundary, or power-state transition is
 		// "boring" — billing and idle counting are its only effects — so we
 		// jump straight to the next interesting tick, charging the skipped
 		// window in closed form. The interesting tick itself is processed
-		// normally below. See DESIGN.md for the invariant argument.
-		if fastForward && cursor < len(entries) && e.net.Quiescent() {
-			delta := entries[cursor].Time - tick
+		// normally below. See DESIGN.md for the invariant argument. In
+		// drain mode an exhausted schedule never reaches here with work
+		// left (the drain check would have fired), so the jump is always
+		// bounded by a pending entry; a session window without drainStop
+		// may instead jump across pure idle time toward the window limit.
+		if e.ffEnabled && e.net.Quiescent() && (e.cursor < len(e.entries) || !drainStop) {
+			var delta int64
+			if e.cursor < len(e.entries) {
+				delta = e.entries[e.cursor].Time - tick
+			} else {
+				delta = limit - tick
+			}
 			if b := (tick/cfg.EpochTicks+1)*cfg.EpochTicks - 1 - tick; b < delta {
 				delta = b
 			}
-			if m := cfg.MaxTicks - tick; m < delta {
+			if m := limit - tick; m < delta {
 				delta = m
 			}
 			if e.lazy {
@@ -1002,7 +1074,7 @@ func Run(cfg Config) (*Result, error) {
 					e.tr.Span(obs.EngineTrack, "fast-forward", "", tick, delta)
 				}
 				tick += delta
-				if tick >= cfg.MaxTicks {
+				if tick >= limit {
 					break
 				}
 			}
@@ -1022,13 +1094,13 @@ func Run(cfg Config) (*Result, error) {
 		// already caught up (a landing's destination is secured, hence
 		// scheduled, until the tail lands), so the two orders commute
 		// bit-for-bit — see DESIGN.md §5d.
-		for cursor < len(entries) && entries[cursor].Time <= tick {
-			en := entries[cursor]
-			injectNow(e.net.AcquirePacket(en.Src, en.Dst, en.Kind, tick))
-			cursor++
+		for e.cursor < len(e.entries) && e.entries[e.cursor].Time <= tick {
+			en := e.entries[e.cursor]
+			e.injectNow(e.net.AcquirePacket(en.Src, en.Dst, en.Kind, tick))
+			e.cursor++
 		}
 		if cfg.Workload != nil {
-			cfg.Workload.Tick(tick, injectNow)
+			cfg.Workload.Tick(tick, e.injectNow)
 		}
 		if e.lazy {
 			if e.parallelOK() {
@@ -1104,25 +1176,35 @@ func Run(cfg Config) (*Result, error) {
 				e.refreshActive(tick + 1)
 			}
 		}
-		sourceDone := cursor >= len(entries)
+		if !drainStop {
+			continue
+		}
+		sourceDone := e.cursor >= len(e.entries)
 		if cfg.Workload != nil {
 			sourceDone = cfg.Workload.Done()
 		}
 		if sourceDone && !e.net.InFlight() {
-			drained = true
+			e.drained = true
 			tick++
-			break
+			return true
 		}
 	}
+	return false
+}
+
+// finish flushes end-of-run state: the final catch-up, the trailing
+// observability fold and the tracer's pending spans. Run calls it after
+// its single stepUntil; a Session calls it from Close.
+func (e *engine) finish() {
 	if e.lazy {
-		e.catchUpAll(tick)
+		e.catchUpAll(e.tick)
 	}
 	if e.obsM != nil {
 		// Fold whatever accrued after the last epoch boundary (partial
 		// epochs, the final catch-up flush) so the snapshot covers the
 		// whole run.
 		hits, misses := e.net.PoolStats()
-		e.obsM.FinishRun(tick, obs.EpochFold{
+		e.obsM.FinishRun(e.tick, obs.EpochFold{
 			FlitsDelivered: e.net.FlitsDelivered(),
 			ActiveRouters:  e.activeCount(),
 			PoolHits:       hits,
@@ -1135,7 +1217,6 @@ func Run(cfg Config) (*Result, error) {
 		// Flush before it closes the file.
 		e.tr.Flush() //nolint:errcheck
 	}
-	return e.result(tick, drained), nil
 }
 
 // punchPath wakes the first PunchHops routers on the XY path from src to
@@ -1214,6 +1295,9 @@ func (e *engine) epochBoundary(now timing.Tick) {
 
 func (e *engine) result(ticks int64, drained bool) *Result {
 	traceName := "workload"
+	if e.cfg.forSession {
+		traceName = "session"
+	}
 	if e.cfg.Trace != nil {
 		traceName = e.cfg.Trace.Name
 	}
