@@ -28,7 +28,7 @@ race:
 # multi-client and backpressure tests (DESIGN.md §5f) ride along: they
 # are the multiplexing layer's race gate.
 race-sharded:
-	$(GO) test -race -run 'TestShardedSweepEngagesAndMatchesSerial|TestParallelLandings|TestActiveSetEquivalence' ./internal/sim
+	$(GO) test -race -run 'TestShardedSweepEngagesAndMatchesSerial|TestParallelLandings|TestActiveSetEquivalence|TestRetile' ./internal/sim
 	$(GO) test -race -run 'TestDaemonConcurrentClients|TestDaemonBackpressureBusy|TestDaemonServeTCP' ./internal/cosim
 
 # Protocol fuzz smoke: run the cosim frame-decoder fuzz target for 10s

@@ -299,6 +299,19 @@ func hotspotTrace(topo topology.Topology, horizon int64) *traffic.Trace {
 // margin, so concurrent sweeps never engage and the numbers measure the
 // sharded engine's serial-fallback overhead (expected ~1x). See
 // BenchmarkBigMesh for the geometry where sharding pays.
+//
+// The asym-fixed/asym-load pair is the load-aware tiling acceptance
+// comparison (DESIGN.md §5g): a 16x32 mesh whose two busy bands (router
+// rows 0-1 and 6-7) both sit in the top quarter. The fixed even split at
+// Shards=4 cuts at rows 8/16/24, so the lower band rides inside the
+// first boundary's margin, the quiet-margin predicate never passes, and
+// asym-fixed pays the serial fallback every tick. asym-load lets the
+// epoch-fold re-split migrate the cuts (to ~{4,10,11}), which puts each
+// band in its own shard and lets both sweep concurrently. As with
+// BenchmarkBigMesh, the speedup needs cores: on a multi-core host
+// asym-load should beat asym-fixed by >=1.3x; at GOMAXPROCS=1 the
+// concurrent sweeps can only interleave and the pair measures the
+// tiling machinery's overhead instead.
 func BenchmarkHotspot(b *testing.B) {
 	topo := topology.NewMesh(8, 8)
 	tr := hotspotTrace(topo, 30_000)
@@ -320,6 +333,33 @@ func BenchmarkHotspot(b *testing.B) {
 			}
 		})
 	}
+	asymTopo := topology.NewMesh(16, 32)
+	asymTr := bandTrace(asymTopo, 10_000, []int{0, 6}, 2)
+	runAsym := func(b *testing.B, fixed bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(sim.Config{
+				Topo:           asymTopo,
+				Spec:           policy.DozzNoC(policy.ReactiveSelector{}),
+				Trace:          asymTr,
+				Shards:         4,
+				ShardMinActive: -1,
+				FixedTiling:    fixed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if fixed && res.ParallelTicks != 0 {
+				b.Fatal("fixed even split swept concurrently through a busy margin")
+			}
+			if !fixed && (res.ShardResplits == 0 || res.ParallelTicks == 0) {
+				b.Fatalf("load-aware tiling never paid off (resplits=%d, parallel=%d)",
+					res.ShardResplits, res.ParallelTicks)
+			}
+		}
+	}
+	b.Run("asym-fixed", func(b *testing.B) { runAsym(b, true) })
+	b.Run("asym-load", func(b *testing.B) { runAsym(b, false) })
 }
 
 // bigMeshTrace drives four four-row bands, one deep inside each quarter
@@ -329,19 +369,26 @@ func BenchmarkHotspot(b *testing.B) {
 // tick after tick while a couple of hundred routers stay busy — the
 // regime the sharded engine is for.
 func bigMeshTrace(topo topology.Topology, horizon int64) *traffic.Trace {
+	return bandTrace(topo, horizon, []int{1, 10, 18, 27}, 4)
+}
+
+// bandTrace is the shared banded-workload builder: bandRows[i] is the
+// first of rowsPerBand consecutive busy router rows, each band exchanges
+// band-local request/response pairs every tick, and every other row is
+// silent.
+func bandTrace(topo topology.Topology, horizon int64, bandRows []int, rowsPerBand int) *traffic.Trace {
 	width := topo.Width()
-	bandRows := []int{1, 10, 18, 27}
 	bands := make([][]int, 0, len(bandRows))
 	for _, row0 := range bandRows {
-		cores := make([]int, 0, 4*width)
-		for row := row0; row < row0+4; row++ {
+		cores := make([]int, 0, rowsPerBand*width)
+		for row := row0; row < row0+rowsPerBand; row++ {
 			for x := 0; x < width; x++ {
 				cores = append(cores, topo.CoreAt(topo.RouterAt(x, row), 0))
 			}
 		}
 		bands = append(bands, cores)
 	}
-	tr := &traffic.Trace{Name: "bigmesh", Cores: topo.NumCores(), Horizon: horizon}
+	tr := &traffic.Trace{Name: "banded", Cores: topo.NumCores(), Horizon: horizon}
 	for t, i := int64(0), 0; t < horizon; t, i = t+1, i+1 {
 		for _, cs := range bands {
 			tr.Entries = append(tr.Entries,
@@ -386,6 +433,42 @@ func BenchmarkBigMesh(b *testing.B) {
 		k := k
 		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) { run(b, k) })
 	}
+
+	// 64x64 (4096 routers): the hierarchical scale-out target. The
+	// banded arm spreads four four-row bands across the mesh quarters —
+	// roughly a thousand busy routers with quiet margins everywhere the
+	// even split cuts. The hotspot arm crowds two bands into the top
+	// eighth of the mesh, so the even split both cuts through traffic and
+	// leaves three shards idle; it relies on the load-aware re-split to
+	// find the one quiet cut between the bands (row 8) and engage.
+	big := topology.NewMesh(64, 64)
+	bigTr := bandTrace(big, 6_000, []int{2, 20, 36, 54}, 4)
+	runBig := func(b *testing.B, tr *traffic.Trace, shards int, wantResplit bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(sim.Config{
+				Topo:   big,
+				Spec:   policy.DozzNoC(policy.ReactiveSelector{}),
+				Trace:  tr,
+				Shards: shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if shards > 1 && res.ParallelTicks == 0 {
+				b.Fatal("sharded sweep never engaged on the 64x64 mesh")
+			}
+			if wantResplit && res.ShardResplits == 0 {
+				b.Fatal("load-aware re-split never engaged on the 64x64 hotspot")
+			}
+		}
+	}
+	for _, k := range []int{1, 4} {
+		k := k
+		b.Run(fmt.Sprintf("64x64/shards=%d", k), func(b *testing.B) { runBig(b, bigTr, k, false) })
+	}
+	hotTr := bandTrace(big, 6_000, []int{2, 10}, 4)
+	b.Run("64x64-hotspot/shards=4", func(b *testing.B) { runBig(b, hotTr, 4, true) })
 }
 
 // BenchmarkBigMeshWire is BenchmarkBigMesh with 2-tick links, so every

@@ -35,12 +35,17 @@ func main() {
 		workers     = flag.Int("workers", 0, "sessions allowed to advance simulated time concurrently (0 = GOMAXPROCS)")
 		maxSessions = flag.Int("max-sessions", 0, "max open sessions per connection (0 = default 16)")
 		retryMS     = flag.Int64("retry-after-ms", 0, "retry hint attached to busy replies (0 = default 5)")
+		shardsMin   = flag.Int("shard-min-active", 0, "per-session sharded serial-fallback threshold in active routers (0 = calibrate from a measured dispatch/barrier round-trip; -1 = always attempt the concurrent sweep; results are bit-identical)")
 		obsAddr     = flag.String("obs-addr", "", "serve live expvar/pprof observability on this address (e.g. localhost:6060)")
 		traceOut    = flag.String("trace-out", "", "write engine-phase spans as a Perfetto/chrome://tracing JSONL file (stdio mode only)")
 		traceWin    = flag.Int64("trace-window", 0, "keep only the trailing N base ticks of the phase trace (0 = everything)")
 	)
 	flag.Parse()
 
+	minActive, err := cli.ParseShardMinActive(*shardsMin)
+	if err != nil {
+		fatal(err)
+	}
 	if *listen != "" && *traceOut != "" {
 		fatal(fmt.Errorf("-trace-out requires stdio mode: the phase tracer is single-goroutine, " +
 			"and only a single stdio connection serializes all session work onto one"))
@@ -55,6 +60,7 @@ func main() {
 		Workers:            *workers,
 		MaxSessionsPerConn: *maxSessions,
 		RetryAfterMS:       *retryMS,
+		ShardMinActive:     minActive,
 	}
 	if *listen == "" {
 		opts.Observer = observer

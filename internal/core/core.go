@@ -95,6 +95,14 @@ type Options struct {
 	// Bit-identical results for any value.
 	Shards int
 
+	// ShardMinActive is the sharded engine's serial-fallback threshold
+	// (sim.Config.ShardMinActive): 0 derives it from a measured worker
+	// dispatch/barrier round-trip at engine construction, positive values
+	// pin it, and negative values make every quiet-margin tick attempt
+	// the concurrent sweep. Scheduling-only; results are bit-identical
+	// for any value.
+	ShardMinActive int
+
 	// Obs attaches the observability layer (sim.Config.Obs) to the
 	// single-run entry points: RunTrace and everything routed through it
 	// (RunBenchmark, the sequential Compare). The concurrent paths —
@@ -268,6 +276,7 @@ func (s *Suite) Dataset(kind ModelKind, trace string) (*ml.Dataset, error) {
 		LinkTicks:      s.Opts.LinkTicks,
 		EpochTicks:     s.Opts.EpochTicks,
 		Shards:         s.Opts.Shards,
+		ShardMinActive: s.Opts.ShardMinActive,
 		CollectDataset: true,
 	})
 	if err != nil {
@@ -376,16 +385,17 @@ func (s *Suite) RunTrace(kind ModelKind, t *traffic.Trace) (*sim.Result, error) 
 		return nil, err
 	}
 	return sim.Run(sim.Config{
-		Topo:       s.Topo,
-		Spec:       spec,
-		Trace:      t,
-		VCs:        s.Opts.VCs,
-		Depth:      s.Opts.Depth,
-		Pipeline:   s.Opts.Pipeline,
-		LinkTicks:  s.Opts.LinkTicks,
-		EpochTicks: s.Opts.EpochTicks,
-		Shards:     s.Opts.Shards,
-		Obs:        s.Opts.Obs,
+		Topo:           s.Topo,
+		Spec:           spec,
+		Trace:          t,
+		VCs:            s.Opts.VCs,
+		Depth:          s.Opts.Depth,
+		Pipeline:       s.Opts.Pipeline,
+		LinkTicks:      s.Opts.LinkTicks,
+		EpochTicks:     s.Opts.EpochTicks,
+		Shards:         s.Opts.Shards,
+		ShardMinActive: s.Opts.ShardMinActive,
+		Obs:            s.Opts.Obs,
 	})
 }
 
@@ -556,15 +566,16 @@ func (s *Suite) CompareParallel(bench string, factor int64) (*Comparison, error)
 		go func(kind ModelKind, spec policy.Spec) {
 			defer wg.Done()
 			res, err := sim.Run(sim.Config{
-				Topo:       s.Topo,
-				Spec:       spec,
-				Trace:      t,
-				VCs:        s.Opts.VCs,
-				Depth:      s.Opts.Depth,
-				Pipeline:   s.Opts.Pipeline,
-				LinkTicks:  s.Opts.LinkTicks,
-				EpochTicks: s.Opts.EpochTicks,
-				Shards:     s.Opts.Shards,
+				Topo:           s.Topo,
+				Spec:           spec,
+				Trace:          t,
+				VCs:            s.Opts.VCs,
+				Depth:          s.Opts.Depth,
+				Pipeline:       s.Opts.Pipeline,
+				LinkTicks:      s.Opts.LinkTicks,
+				EpochTicks:     s.Opts.EpochTicks,
+				Shards:         s.Opts.Shards,
+				ShardMinActive: s.Opts.ShardMinActive,
 			})
 			if err != nil {
 				errs <- fmt.Errorf("core: %v on %s: %w", kind, bench, err)

@@ -37,6 +37,13 @@ type Options struct {
 	MaxSessionsPerConn int
 	// RetryAfterMS is the hint attached to CodeBusy replies (default 5).
 	RetryAfterMS int64
+	// ShardMinActive is applied to every session's engine
+	// (sim.Config.ShardMinActive): 0 calibrates the sharded engine's
+	// serial-fallback threshold from a measured dispatch/barrier
+	// round-trip, positive values pin it, negatives disable the
+	// fallback. Scheduling-only — session results are bit-identical
+	// for any value.
+	ShardMinActive int
 	// Observer, when non-nil, is attached to every session the daemon
 	// opens — engine metrics fold into its Metrics and phase spans into
 	// its Tracer (a windowed tracer keeps always-on tracing bounded).
@@ -356,11 +363,12 @@ func (c *connState) openSession(req *Request) error {
 		return c.fail(req.ID, CodeSessionLimit, "connection already holds %d sessions", len(c.sessions))
 	}
 	sess, err := sim.NewSession(sim.Config{
-		Topo:      topo,
-		Spec:      spec,
-		Shards:    req.Shards,
-		LinkTicks: req.LinkTicks,
-		Obs:       c.d.opts.Observer,
+		Topo:           topo,
+		Spec:           spec,
+		Shards:         req.Shards,
+		ShardMinActive: c.d.opts.ShardMinActive,
+		LinkTicks:      req.LinkTicks,
+		Obs:            c.d.opts.Observer,
 	})
 	if err != nil {
 		return c.fail(req.ID, CodeBadField, "%v", err)

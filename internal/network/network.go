@@ -103,7 +103,8 @@ type Network struct {
 	wireNext int64 // deliverAt of the wire head, noWireDue when empty
 
 	inj     []injState
-	secured []int // securing count per router
+	secured []int        // securing count per router
+	slab    *router.Slab // struct-of-arrays hot state shared by all routers
 
 	// lanes holds one staging area per shard (always at least one; the
 	// serial engine and standalone callers use lane 0 for everything).
@@ -158,12 +159,41 @@ func New(topo topology.Topology, vcs, depth, pipeline int, pv PowerView, sink Si
 	for i := range n.inj {
 		n.inj[i].vc = -1
 	}
+	// One struct-of-arrays slab backs the hot state of every router
+	// (slot = router ID), so the engine's sweeps and margin walks read
+	// contiguous arrays instead of chasing per-router pointers.
+	n.slab = router.NewSlab(topo.NumRouters(), cfg)
 	n.Routers = make([]*router.Router, topo.NumRouters())
 	for i := range n.Routers {
-		n.Routers[i] = router.New(i, cfg)
+		n.Routers[i] = router.NewInSlab(i, n.slab, i)
 	}
 	n.SetShards(1)
 	return n
+}
+
+// OccupiedSlots exposes the slab's occupancy plane (entry r = router r's
+// occupied input-buffer slots) for the engine's contiguous hot-path
+// reads. Read-only for callers.
+func (n *Network) OccupiedSlots() []int32 { return n.slab.OccupiedSlots() }
+
+// RangeInert reports whether every router in [lo, hi) is inert — empty
+// buffers and no securing claims — by scanning the slab's occupancy
+// plane and the secured counts as two flat slices. It is the
+// quiet-margin predicate's bulk form: the engine calls it per boundary
+// margin on every candidate parallel tick, so it must not touch the
+// routers themselves.
+func (n *Network) RangeInert(lo, hi int) bool {
+	for _, o := range n.slab.OccupiedSlots()[lo:hi] {
+		if o != 0 {
+			return false
+		}
+	}
+	for _, s := range n.secured[lo:hi] {
+		if s != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // SetShards sizes the staging-lane array for k concurrent shards. Call it

@@ -13,6 +13,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -117,6 +118,14 @@ type Snapshot struct {
 
 	ShardSweeps   []int64 `json:"shard_sweeps"`   // sweeps per shard
 	ActiveRouters int     `json:"active_routers"` // active-set size at the last fold
+
+	// Shard balance, republished per fold so -obs-addr shows it live:
+	// ShardLoad is the per-shard swept-router-tick counts, ShardImbalance
+	// their max/mean (1.0 = perfectly balanced), and ShardResplits the
+	// load-aware boundary re-splits executed so far.
+	ShardLoad      []int64 `json:"shard_load"`
+	ShardImbalance float64 `json:"shard_imbalance"`
+	ShardResplits  int64   `json:"shard_resplits"`
 
 	ResidencyTicks [2 + power.NumActiveModes]int64 `json:"residency_ticks"`
 
@@ -289,6 +298,8 @@ type EpochFold struct {
 	ActiveRouters  int     // active-set population at the boundary
 	PoolHits       int64   // cumulative flit/packet pool hits
 	PoolMisses     int64
+	ShardLoad      []int64 // cumulative swept router-ticks per shard (engine scratch; copied)
+	ShardResplits  int64   // cumulative load-aware boundary re-splits
 }
 
 // FoldEpoch closes one epoch: it drains the shard lanes into the run
@@ -407,6 +418,9 @@ func (m *Metrics) publish(f EpochFold) {
 	m.totals.ActiveRouters = f.ActiveRouters
 	m.totals.PoolHits = f.PoolHits
 	m.totals.PoolMisses = f.PoolMisses
+	m.totals.ShardLoad = append(m.totals.ShardLoad[:0], f.ShardLoad...)
+	m.totals.ShardImbalance = shardImbalance(f.ShardLoad)
+	m.totals.ShardResplits = f.ShardResplits
 	if m.errNRun > 0 {
 		m.totals.MeanAbsPredErr = m.errSumRun / float64(m.errNRun)
 	}
@@ -415,7 +429,23 @@ func (m *Metrics) publish(f EpochFold) {
 	}
 	snap := m.totals
 	snap.ShardSweeps = append([]int64(nil), m.totals.ShardSweeps...)
+	snap.ShardLoad = append([]int64(nil), m.totals.ShardLoad...)
 	setLiveSnapshot(&snap)
+}
+
+// shardImbalance is max/mean of the per-shard loads (0 when idle).
+func shardImbalance(loads []int64) float64 {
+	var sum, max int64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(loads)) / float64(sum)
 }
 
 // FinishRun folds events that accrued after the last epoch boundary
@@ -433,5 +463,28 @@ func (m *Metrics) FinishRun(ticks int64, f EpochFold) {
 func (m *Metrics) Snapshot() Snapshot {
 	snap := m.totals
 	snap.ShardSweeps = append([]int64(nil), m.totals.ShardSweeps...)
+	snap.ShardLoad = append([]int64(nil), m.totals.ShardLoad...)
 	return snap
+}
+
+// Retile remaps the router->lane attribution after a load-aware shard
+// re-split: laneStarts is the new partition (same lane count — lanes are
+// identified with shard workers, whose number never changes mid-run).
+// Only the map moves; lane counters are neither reset nor migrated,
+// because every consumer of per-router events (run totals, epoch deltas
+// via foldLanes) sums across all lanes, and those sums are invariant
+// under which lane a router's events landed in. Per-shard Sweeps stay
+// keyed by shard index and are unaffected. The engine calls this at the
+// post-barrier epoch fold, with every shard worker parked.
+func (m *Metrics) Retile(laneStarts []int) {
+	if len(laneStarts) != len(m.lanes) {
+		panic(fmt.Sprintf("obs: Retile with %d lanes, bound %d", len(laneStarts), len(m.lanes)))
+	}
+	lane := 0
+	for r := 0; r < m.nR; r++ {
+		for lane+1 < len(laneStarts) && r >= laneStarts[lane+1] {
+			lane++
+		}
+		m.laneOf[r] = uint8(lane)
+	}
 }

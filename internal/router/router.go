@@ -118,67 +118,54 @@ func (v *vcState) pop() *flit.Flit {
 // Router is one router instance. It owns no clocking or power state; the
 // simulation engine drives Cycle on the router's local clock and gates it
 // with the power-management state machine.
+//
+// The hot scalar state — occupancy aggregate, local cycle counter,
+// per-port pending counts, credits and downstream-VC claims — lives in a
+// shared Slab (see slab.go); the fields below are views into that slab's
+// flat arrays so the engine's sweeps walk contiguous memory. The public
+// accessors are unchanged.
 type Router struct {
 	ID  int
 	cfg Config
 
 	in [][]vcState // [port][vc]
 
-	// credits[p][v] counts free slots in the downstream input VC v behind
-	// cardinal output port p. Local (ejection) ports need no credits: the
-	// core consumes one flit per cycle unconditionally.
-	credits [][]int
-	// outVCBusy[p][v] marks a downstream VC claimed by an in-flight
+	// occ and lc point at this router's slots in the slab's occupancy and
+	// local-cycle planes: occupied input-buffer slots across all input
+	// VCs, and the local cycle counter (pipeline timing base).
+	occ *int32
+	lc  *int64
+
+	// credits[p*VCs+v] counts free slots in the downstream input VC v
+	// behind cardinal output port p (slab view, flat per-port-per-VC
+	// plane). Local (ejection) ports need no credits: the core consumes
+	// one flit per cycle unconditionally.
+	credits []int32
+	// outVCBusy[p*VCs+v] marks a downstream VC claimed by an in-flight
 	// packet; it is released when that packet's tail is forwarded.
-	outVCBusy [][]bool
+	outVCBusy []bool
+	// pendingToPort[p] counts packets buffered here whose latched or
+	// precomputed route leaves through cardinal port p; used for
+	// downstream securing (slab view).
+	pendingToPort []int32
 
 	// Arbiters.
 	outArb []*RoundRobin // per output port: switch allocation over input VCs
 	vcaRR  []int         // per output port: VC-allocation rotation
 
-	// pendingToPort[p] counts packets buffered here whose latched or
-	// precomputed route leaves through cardinal port p; used for
-	// downstream securing.
-	pendingToPort []int
-
 	// Statistics.
 	flitsForwarded int64
 	flitsEjected   int64
-	occupied       int // current occupied slots across all input VCs
 
-	localCycle int64  // local cycle counter (pipeline timing base)
 	inPortUsed []bool // per-cycle scratch: crossbar input already used
 }
 
-// New builds a router. It panics on invalid configuration (router sizing is
-// a programming error, not a runtime condition).
+// New builds a standalone router backed by a private one-slot slab. It
+// panics on invalid configuration (router sizing is a programming error,
+// not a runtime condition). Fabrics that build many routers should share
+// one slab via NewSlab + NewInSlab.
 func New(id int, cfg Config) *Router {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
-	r := &Router{ID: id, cfg: cfg}
-	r.in = make([][]vcState, cfg.Ports)
-	r.credits = make([][]int, cfg.Ports)
-	r.outVCBusy = make([][]bool, cfg.Ports)
-	for p := 0; p < cfg.Ports; p++ {
-		r.in[p] = make([]vcState, cfg.VCs)
-		for v := range r.in[p] {
-			r.in[p][v].outVC = -1
-		}
-		r.credits[p] = make([]int, cfg.VCs)
-		for v := range r.credits[p] {
-			r.credits[p][v] = cfg.Depth
-		}
-		r.outVCBusy[p] = make([]bool, cfg.VCs)
-	}
-	r.outArb = make([]*RoundRobin, cfg.Ports)
-	for p := range r.outArb {
-		r.outArb[p] = NewRoundRobin(cfg.Ports * cfg.VCs)
-	}
-	r.vcaRR = make([]int, cfg.Ports)
-	r.pendingToPort = make([]int, cfg.Ports)
-	r.inPortUsed = make([]bool, cfg.Ports)
-	return r
+	return NewInSlab(id, NewSlab(1, cfg), 0)
 }
 
 // Config returns the router's configuration.
@@ -203,10 +190,10 @@ func (r *Router) AcceptFlit(env Env, inPort, vc int, f *flit.Flit) {
 		panic(fmt.Sprintf("router %d: input (%d,%d) overflow", r.ID, inPort, vc))
 	}
 	s.q = append(s.q, f)
-	r.occupied++
+	*r.occ++
 	// A flit accepted between local cycles c and c+1 traverses the switch
 	// no earlier than cycle c+Pipeline (1 = the next cycle).
-	f.ReadyCycle = r.localCycle + int64(r.cfg.Pipeline)
+	f.ReadyCycle = *r.lc + int64(r.cfg.Pipeline)
 	if f.Head {
 		r.pendingToPort[f.OutPort]++
 		env.HeadAccepted(r, f)
@@ -219,16 +206,16 @@ func (r *Router) AcceptFlit(env Env, inPort, vc int, f *flit.Flit) {
 // flit enqueue (AcceptFlit) and dequeue (popFront), so sampling it is
 // O(1) — the engine's per-tick IBU accumulation never walks the VCs.
 func (r *Router) Occupancy() (occupied, total int) {
-	return r.occupied, r.cfg.Ports * r.cfg.VCs * r.cfg.Depth
+	return int(*r.occ), r.cfg.Ports * r.cfg.VCs * r.cfg.Depth
 }
 
 // Occupied returns the occupied-slot aggregate alone (O(1)).
-func (r *Router) Occupied() int { return r.occupied }
+func (r *Router) Occupied() int { return int(*r.occ) }
 
 // LocalCycle exposes the local cycle counter. A router deferred by the
 // active-set scheduler lags here until caught up, so epoch-boundary
 // probes can detect a missed catch-up barrier (DESIGN.md §5b).
-func (r *Router) LocalCycle() int64 { return r.localCycle }
+func (r *Router) LocalCycle() int64 { return *r.lc }
 
 // RecountOccupancy recomputes the occupied-slot count the slow way, by
 // walking every input VC queue. It exists so tests (and debugging
@@ -246,11 +233,11 @@ func (r *Router) RecountOccupancy() int {
 
 // BuffersEmpty reports whether every input VC is empty (one of the paper's
 // conditions for router idleness).
-func (r *Router) BuffersEmpty() bool { return r.occupied == 0 }
+func (r *Router) BuffersEmpty() bool { return *r.occ == 0 }
 
 // PendingToPort returns how many buffered packets are routed out of
 // cardinal port p (downstream-securing input).
-func (r *Router) PendingToPort(p int) int { return r.pendingToPort[p] }
+func (r *Router) PendingToPort(p int) int { return int(r.pendingToPort[p]) }
 
 // FlitsForwarded and FlitsEjected expose movement counters.
 func (r *Router) FlitsForwarded() int64 { return r.flitsForwarded }
@@ -259,10 +246,10 @@ func (r *Router) FlitsEjected() int64   { return r.flitsEjected }
 // Credit returns one credit for downstream VC (outPort, vc); the fabric
 // calls it when the downstream router frees a slot we filled.
 func (r *Router) Credit(outPort, vc int) {
-	if r.credits[outPort][vc] >= r.cfg.Depth {
+	if r.credits[outPort*r.cfg.VCs+vc] >= int32(r.cfg.Depth) {
 		panic(fmt.Sprintf("router %d: credit overflow on (%d,%d)", r.ID, outPort, vc))
 	}
-	r.credits[outPort][vc]++
+	r.credits[outPort*r.cfg.VCs+vc]++
 }
 
 // SkipCycles advances the local cycle counter by n cycles without doing
@@ -271,18 +258,18 @@ func (r *Router) Credit(outPort, vc int) {
 // guarantee the buffers really are empty: with flits buffered, skipping
 // would let them bypass the pipeline-delay check against ReadyCycle.
 func (r *Router) SkipCycles(n int64) {
-	if r.occupied != 0 {
-		panic(fmt.Sprintf("router %d: SkipCycles with %d flits buffered", r.ID, r.occupied))
+	if *r.occ != 0 {
+		panic(fmt.Sprintf("router %d: SkipCycles with %d flits buffered", r.ID, *r.occ))
 	}
-	r.localCycle += n
+	*r.lc += n
 }
 
 // Cycle performs one local router cycle: switch allocation and traversal.
 // At most one flit leaves per output port, and at most one flit leaves per
 // input port (single crossbar input per port).
 func (r *Router) Cycle(env Env) {
-	r.localCycle++
-	if r.occupied == 0 {
+	*r.lc++
+	if *r.occ == 0 {
 		return
 	}
 	for i := range r.inPortUsed {
@@ -309,7 +296,7 @@ func (r *Router) serveOutput(env Env, outPort int, inPortUsed []bool) {
 		}
 		s := &r.in[inPort][vc]
 		f := s.front()
-		if f == nil || f.ReadyCycle > r.localCycle {
+		if f == nil || f.ReadyCycle > *r.lc {
 			return false
 		}
 		// Latch the front packet's route when its head reaches the front.
@@ -337,14 +324,14 @@ func (r *Router) forward(env Env, inPort, vc, outPort int, s *vcState, f *flit.F
 	if s.outVC < 0 && !r.allocVC(outPort, s, f) {
 		return false
 	}
-	if r.credits[outPort][s.outVC] == 0 {
+	if r.credits[outPort*r.cfg.VCs+s.outVC] == 0 {
 		return false
 	}
-	r.credits[outPort][s.outVC]--
+	r.credits[outPort*r.cfg.VCs+s.outVC]--
 	outVC := s.outVC
 	r.popFront(env, inPort, vc, s, f)
 	if f.Tail {
-		r.outVCBusy[outPort][outVC] = false
+		r.outVCBusy[outPort*r.cfg.VCs+outVC] = false
 		env.TailForwarded(r, outPort, f)
 	}
 	r.flitsForwarded++
@@ -367,7 +354,7 @@ func (r *Router) eject(env Env, inPort, vc int, s *vcState, f *flit.Flit) {
 // resets per-packet routing state on tails.
 func (r *Router) popFront(env Env, inPort, vc int, s *vcState, f *flit.Flit) {
 	s.pop()
-	r.occupied--
+	*r.occ--
 	if f.Tail {
 		r.pendingToPort[s.outPort]--
 		s.routed = false
@@ -385,8 +372,8 @@ func (r *Router) allocVC(outPort int, s *vcState, f *flit.Flit) bool {
 	start := r.vcaRR[outPort]
 	for i := 0; i < span; i++ {
 		v := lo + (start+i)%span
-		if !r.outVCBusy[outPort][v] {
-			r.outVCBusy[outPort][v] = true
+		if !r.outVCBusy[outPort*r.cfg.VCs+v] {
+			r.outVCBusy[outPort*r.cfg.VCs+v] = true
 			s.outVC = v
 			r.vcaRR[outPort] = (start + i + 1) % span
 			return true
@@ -404,6 +391,8 @@ type DrainState struct {
 // Snapshot returns the router's drain state.
 func (r *Router) Snapshot() DrainState {
 	pp := make([]int, len(r.pendingToPort))
-	copy(pp, r.pendingToPort)
-	return DrainState{Occupied: r.occupied, PendingPerPort: pp}
+	for p, n := range r.pendingToPort {
+		pp[p] = int(n)
+	}
+	return DrainState{Occupied: int(*r.occ), PendingPerPort: pp}
 }

@@ -34,6 +34,9 @@ func zeroSchedulingDiagnostics(r *sim.Result) {
 	r.LazySkippedRouterTicks = 0
 	r.ParallelTicks = 0
 	r.ParallelLandings = 0
+	r.ShardLoad = nil
+	r.ShardLoadImbalance = 0
+	r.ShardResplits = 0
 }
 
 // shardCounts are the shard widths the sharded-equivalence checks replay

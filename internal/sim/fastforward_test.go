@@ -132,11 +132,11 @@ func TestFastForwardEquivalence(t *testing.T) {
 				if ff.FastForwardedTicks > 0 {
 					engaged = true
 				}
-				ff.FastForwardedTicks = 0
-				// Whether a tick swept concurrently is likewise a schedule
-				// property (and the skipped ticks never sweep at all).
-				ff.ParallelTicks, slow.ParallelTicks = 0, 0
-				ff.ParallelLandings, slow.ParallelLandings = 0, 0
+				// Whether a tick swept concurrently (and how the load spread
+				// across shards) is likewise a schedule property — the
+				// skipped ticks never sweep at all.
+				zeroSchedulingDiagnostics(ff)
+				zeroSchedulingDiagnostics(slow)
 				if !reflect.DeepEqual(ff, slow) {
 					t.Errorf("fast-forward result differs from tick-by-tick:\nfast: %+v\nslow: %+v", ff, slow)
 				}
@@ -157,9 +157,8 @@ func TestFastForwardEquivalenceCollecting(t *testing.T) {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) {
 			ff, slow := runPair(t, s, kind, "blackscholes", true)
-			ff.FastForwardedTicks = 0
-			ff.ParallelTicks, slow.ParallelTicks = 0, 0
-			ff.ParallelLandings, slow.ParallelLandings = 0, 0
+			zeroSchedulingDiagnostics(ff)
+			zeroSchedulingDiagnostics(slow)
 			if !reflect.DeepEqual(ff.Dataset, slow.Dataset) {
 				t.Error("harvested datasets differ between fast-forward and tick-by-tick")
 			}

@@ -1,0 +1,143 @@
+// Load-aware re-split stress harness (DESIGN.md §5g). The tiling tests
+// drive traffic whose busy rows move mid-run, so the initially balanced
+// partition goes stale and the epoch-fold re-split has to chase the
+// load, and prove the re-laid partitions stay bit-exact against the
+// serial engine for every model kind.
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/ml"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// phaseShiftTrace cuts the horizon into phases of phaseLen ticks; each
+// phase draws a fresh pair of busy two-row bands (one per half of the
+// mesh) exchanging randomized band-local bursts, plus a hotspot router
+// that the upper band streams requests at. Band and hotspot positions
+// move between phases, so a partition balanced for one phase is wrong
+// for the next — and a band that lands on a stale cut keeps that
+// boundary's margin busy, which is exactly the geometry the load-aware
+// tiler exists to escape.
+func phaseShiftTrace(topo topology.Topology, horizon, phaseLen, seed int64) *traffic.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	width, rows := topo.Width(), topo.Height()
+	band := func(row0 int) []int {
+		cores := make([]int, 0, 2*width)
+		for row := row0; row < row0+2; row++ {
+			for x := 0; x < width; x++ {
+				cores = append(cores, topo.CoreAt(topo.RouterAt(x, row), 0))
+			}
+		}
+		return cores
+	}
+	kinds := []flit.Kind{flit.Request, flit.Request, flit.Response}
+	tr := &traffic.Trace{Name: "phase-shift", Cores: topo.NumCores(), Horizon: horizon}
+	for p0 := int64(0); p0 < horizon; p0 += phaseLen {
+		top := band(rng.Intn(rows/2 - 1))
+		bottom := band(rows/2 + rng.Intn(rows/2-1))
+		hot := topo.CoreAt(topo.RouterAt(rng.Intn(width), rng.Intn(rows)), 0)
+		end := p0 + phaseLen
+		if end > horizon {
+			end = horizon
+		}
+		for t := p0; t < end; t++ {
+			for _, cores := range [][]int{top, bottom} {
+				for burst := rng.Intn(2); burst > 0; burst-- {
+					si := rng.Intn(len(cores))
+					dst := cores[(si+1+rng.Intn(len(cores)-1))%len(cores)]
+					tr.Entries = append(tr.Entries, traffic.Entry{
+						Time: t, Src: cores[si], Dst: dst, Kind: kinds[rng.Intn(len(kinds))],
+					})
+				}
+			}
+			if t%5 == 0 {
+				if src := top[rng.Intn(len(top))]; src != hot {
+					tr.Entries = append(tr.Entries, traffic.Entry{Time: t, Src: src, Dst: hot, Kind: flit.Request})
+				}
+			}
+		}
+	}
+	return tr
+}
+
+// TestRetileRandomizedStress is the acceptance suite for load-aware
+// shard tiling: phase-shifting banded+hotspot traffic on two mesh
+// sizes, every paper model, Shards in {1,2,4}, with wire latency so the
+// staged landing path rides along. Every sharded Result must be deeply
+// equal to the serial engine's even as the partition is re-laid
+// mid-run; across each mesh the sharded runs must both sweep
+// concurrently and actually re-split, otherwise the equivalence proof
+// would be vacuous.
+func TestRetileRandomizedStress(t *testing.T) {
+	meshes := []struct {
+		w, h    int
+		horizon int64
+	}{
+		{8, 16, 15_000},
+		{16, 32, 8_000},
+	}
+	for _, m := range meshes {
+		m := m
+		t.Run(fmt.Sprintf("mesh%dx%d", m.w, m.h), func(t *testing.T) {
+			topo := topology.NewMesh(m.w, m.h)
+			tr := phaseShiftTrace(topo, m.horizon, 2_500, 11)
+			s := core.NewSuite(topo, core.Options{Horizon: m.horizon, Seed: 3})
+			for _, k := range core.MLKinds {
+				s.SetTrainedModel(k, &ml.Ridge{Weights: []float64{0, 0, 0, 0, 1}})
+			}
+			var parallelTicks, resplits int64
+			for _, kind := range core.AllKinds {
+				kind := kind
+				t.Run(kind.String(), func(t *testing.T) {
+					runK := func(shards int) *sim.Result {
+						spec, err := s.Spec(kind)
+						if err != nil {
+							t.Fatal(err)
+						}
+						res, err := sim.Run(sim.Config{
+							Topo:           topo,
+							Spec:           spec,
+							Trace:          tr,
+							LinkTicks:      1,
+							Shards:         shards,
+							ShardMinActive: -1,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						return res
+					}
+					serial := runK(1)
+					if serial.ShardResplits != 0 {
+						t.Fatalf("Shards=1 run re-split %d times", serial.ShardResplits)
+					}
+					zeroSchedulingDiagnostics(serial)
+					for _, k := range []int{2, 4} {
+						sharded := runK(k)
+						parallelTicks += sharded.ParallelTicks
+						resplits += sharded.ShardResplits
+						zeroSchedulingDiagnostics(sharded)
+						if !reflect.DeepEqual(sharded, serial) {
+							t.Errorf("Shards=%d result differs from serial:\nsharded: %+v\nserial:  %+v", k, sharded, serial)
+						}
+					}
+				})
+			}
+			if parallelTicks == 0 {
+				t.Error("no sharded run ever swept concurrently; retile equivalence is vacuous")
+			}
+			if resplits == 0 {
+				t.Error("no sharded run ever re-split; load-aware tiling never engaged")
+			}
+		})
+	}
+}

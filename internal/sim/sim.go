@@ -37,9 +37,13 @@ const (
 	DefaultPipeline   = 3
 	DefaultEpochTicks = 500
 	DefaultPunchHops  = -1
-	// DefaultShardMinActive is the active-set size below which a sharded
-	// engine sweeps serially: with few routers scheduled, barrier cost
-	// dominates any concurrency win.
+	// DefaultShardMinActive is the fallback active-set size below which a
+	// sharded engine sweeps serially: with few routers scheduled, barrier
+	// cost dominates any concurrency win. ShardMinActive=0 normally
+	// derives the threshold from a barrier round-trip measured at engine
+	// startup (calibratedShardMinActive); this constant is used when that
+	// measurement is unavailable (single shard) and anchors the clamp
+	// range around it.
 	DefaultShardMinActive = 32
 )
 
@@ -102,20 +106,33 @@ type Config struct {
 	// unsecured). Results are bit-identical for any shard count — ticks
 	// that cannot be proven isolated sweep serially, and concurrent
 	// sweeps stage shared-state effects into per-shard lanes replayed in
-	// the serial order (DESIGN.md §5c). 0 selects
-	// min(GOMAXPROCS, NumCPU, rows) — in particular it resolves to 1 on
-	// a single-CPU host, where concurrent sweeps could only interleave;
-	// 1 disables concurrency. Clamped to the router-row count. Forced to
-	// 1 when NoActiveSet is set or Pipeline < 2 (a 1-cycle pipeline lets
-	// a flit cross two links in one tick, defeating the boundary-margin
-	// isolation argument).
+	// the serial order (DESIGN.md §5c). The boundaries themselves are
+	// load-aware: per-row work counters drive a re-split at each epoch
+	// fold so busy rows spread across workers and boundaries settle on
+	// quiet rows (DESIGN.md §5g; FixedTiling pins the initial even
+	// split). 0 selects min(GOMAXPROCS, NumCPU, rows) — in particular it
+	// resolves to 1 on a single-CPU host, where concurrent sweeps could
+	// only interleave; 1 disables concurrency. Clamped to the router-row
+	// count. Forced to 1 when NoActiveSet is set or Pipeline < 2 (a
+	// 1-cycle pipeline lets a flit cross two links in one tick,
+	// defeating the boundary-margin isolation argument).
 	Shards int
 	// ShardMinActive is the minimum active-set size before a tick is
-	// swept concurrently (barrier cost dominates below it). 0 selects
-	// DefaultShardMinActive; negative means 1 (always attempt), which
-	// the equivalence tests use to maximize parallel coverage on small
-	// meshes.
+	// swept concurrently (barrier cost dominates below it). 0 derives
+	// the threshold from a barrier round-trip measured at engine startup
+	// (clamped to [16, 128]; DefaultShardMinActive when the measurement
+	// is unavailable); positive pins it; negative means 1 (always
+	// attempt), which the equivalence tests use to maximize parallel
+	// coverage on small meshes. The threshold only gates scheduling, so
+	// results are bit-identical for any value.
 	ShardMinActive int
+	// FixedTiling pins the shard partition to the initial contiguous
+	// even row-band split, disabling the load-aware boundary re-splits
+	// executed at epoch folds. Results are bit-identical either way —
+	// the partition only affects which goroutine sweeps which rows — so
+	// the knob exists to benchmark the tiling win and as a debugging
+	// escape hatch.
+	FixedTiling bool
 	// Obs attaches the observability layer (package obs): per-shard
 	// metric lanes folded at epoch boundaries, and optionally an engine
 	// phase tracer. Optional and purely diagnostic — a nil Observer
@@ -235,7 +252,15 @@ func (c *Config) applyDefaults() error {
 		c.Shards = 1
 	}
 	if c.ShardMinActive == 0 {
-		c.ShardMinActive = DefaultShardMinActive
+		if c.Shards > 1 {
+			// Derive the serial-fallback threshold from a measured
+			// barrier round-trip (see calibratedShardMinActive): the
+			// fixed default under- or over-gates depending on how
+			// expensive this host's wakeup/park cycle actually is.
+			c.ShardMinActive = calibratedShardMinActive(c.Shards)
+		} else {
+			c.ShardMinActive = DefaultShardMinActive
+		}
 	} else if c.ShardMinActive < 0 {
 		c.ShardMinActive = 1
 	}
@@ -276,6 +301,20 @@ type Result struct {
 	// obs.Metrics (Config.Obs), whose snapshot must agree with them —
 	// the obs tests cross-check the two so neither count can rot.
 	ParallelLandings int64
+	// ShardLoad[i] counts the router-ticks shard i's worker actually
+	// stepped (swept active-set members; deferred catch-up excluded) —
+	// the per-worker share of the sweep work. Diagnostic only, like the
+	// counters above: it varies with the shard count and partition while
+	// every other field is bit-identical. Always length Shards.
+	ShardLoad []int64
+	// ShardLoadImbalance is max(ShardLoad)/mean(ShardLoad) — 1.0 is a
+	// perfectly balanced partition, Shards is everything on one worker.
+	// 0 when nothing was swept. Diagnostic only.
+	ShardLoadImbalance float64
+	// ShardResplits counts the load-aware boundary re-splits executed at
+	// epoch folds (0 with FixedTiling, a single shard, or stable load).
+	// Diagnostic only.
+	ShardResplits int64
 
 	PacketsInjected  int64
 	PacketsDelivered int64
@@ -349,6 +388,7 @@ type shardState struct {
 	ids []int
 
 	lazyTicks int64 // router-ticks covered by deferred catch-up
+	swept     int64 // router-ticks actually stepped by this shard's worker
 
 	// Arm min-heap (parallel arrays, keyed by armT): deferred routers
 	// whose only pending event is their idle-gating countdown, keyed by
@@ -475,6 +515,25 @@ type engine struct {
 	margins   []span  // boundary margin routers, must be inert to sweep concurrently
 	minActive int     // resolved ShardMinActive
 
+	// occ aliases the network slab's occupancy plane (one int32 per
+	// router), so the hot predicates (IBU accumulation, deferral checks)
+	// read a flat array instead of dereferencing *Router.
+	occ []int32
+
+	// Load-aware tiling state (DESIGN.md §5g). rowWork accumulates
+	// stepped router-ticks per mesh row (owner-only writes: a row belongs
+	// to exactly one shard) and decays by half at each epoch fold;
+	// maybeResplit re-cuts the partition from it while the workers are
+	// parked. cuts[i] is the first row of shard i.
+	tiling       bool
+	width, rows  int
+	rowOfR       []int32 // router ID -> mesh row
+	rowWork      []int64
+	cuts         []int
+	laneStarts   []int // current partition's lane starts (= shard lo's)
+	resplits     int64
+	shardLoadBuf []int64 // scratch for epoch-fold ShardLoad snapshots
+
 	wg        sync.WaitGroup
 	workersUp bool
 
@@ -501,7 +560,7 @@ type engine struct {
 // nothing about the router beyond residency billing and clock-domain
 // phase, both of which catch-up reproduces exactly.
 func (e *engine) canDefer(r int) bool {
-	return e.ctrl.Dormant(r) && e.net.Routers[r].BuffersEmpty() && !e.net.Secured(r)
+	return e.ctrl.Dormant(r) && e.occ[r] == 0 && !e.net.Secured(r)
 }
 
 // canArm reports whether a non-dormant router may still be deferred by
@@ -510,7 +569,7 @@ func (e *engine) canDefer(r int) bool {
 // exactly (the router's clock phase cannot drift while deferred — only
 // catch-up advances it, by the same closed form eager ticking uses).
 func (e *engine) canArm(r int) bool {
-	return e.ctrl.IdleGatingOnly(r) && e.net.Routers[r].BuffersEmpty() && !e.net.Secured(r)
+	return e.ctrl.IdleGatingOnly(r) && e.occ[r] == 0 && !e.net.Secured(r)
 }
 
 // arm schedules a deferred idle-countdown router to rejoin the schedule
@@ -682,9 +741,11 @@ func (e *engine) WakeRequest(routerID int) {
 // accumulation, and the power-state machine with a network cycle (staged
 // through the shard's lane) when the router's clock fires.
 func (e *engine) stepRouter(r, shard int) {
+	e.shards[shard].swept++
+	e.rowWork[e.rowOfR[r]]++
 	mode, wt := e.ctrl.BillingState(r)
 	e.meter[r].AddStatic(mode, wt, 1)
-	e.ibuNum[r] += int64(e.net.Routers[r].Occupied())
+	e.ibuNum[r] += int64(e.occ[r])
 	if e.ctrl.Advance(r) {
 		e.net.CycleRouter(r, shard)
 		e.ctrl.PostCycle(r)
@@ -744,10 +805,11 @@ func (e *engine) parallelOK() bool {
 		return false
 	}
 	for _, m := range e.margins {
-		for r := m.lo; r < m.hi; r++ {
-			if !e.net.Inert(r) {
-				return false
-			}
+		// Bulk slab scan: the margin walk runs on every candidate
+		// parallel tick, so it reads the occupancy plane and secured
+		// counts as flat slices instead of calling Inert per router.
+		if !e.net.RangeInert(m.lo, m.hi) {
+			return false
 		}
 	}
 	return true
@@ -864,46 +926,40 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 	_, slots := e.net.Routers[0].Occupancy()
 	e.slotsPerR = int64(slots)
+	e.occ = e.net.OccupiedSlots()
 
-	// Shard layout: contiguous row-aligned router ranges, rows spread as
-	// evenly as K divides them. With K = 1 this is one shard covering
-	// the mesh and the sweep is exactly the serial engine.
+	// Initial shard layout: contiguous row-aligned router ranges, rows
+	// spread as evenly as K divides them. With K = 1 this is one shard
+	// covering the mesh and the sweep is exactly the serial engine. The
+	// boundaries move toward the load at epoch folds (maybeResplit)
+	// unless FixedTiling pins them.
 	width, rows := cfg.Topo.Width(), cfg.Topo.Height()
 	k := cfg.Shards
+	e.width, e.rows = width, rows
+	e.rowOfR = make([]int32, nR)
+	for r := range e.rowOfR {
+		e.rowOfR[r] = int32(r / width)
+	}
+	e.rowWork = make([]int64, rows)
 	e.shards = make([]shardState, k)
 	e.shardOf = make([]uint8, nR)
 	e.minActive = cfg.ShardMinActive
-	laneStarts := make([]int, k)
+	e.cuts = make([]int, k)
+	e.laneStarts = make([]int, k)
+	e.shardLoadBuf = make([]int64, k)
+	cuts := make([]int, k)
 	row := 0
 	for si := 0; si < k; si++ {
+		cuts[si] = row
 		h := rows / k
 		if si < rows%k {
 			h++
 		}
-		s := &e.shards[si]
-		s.lo, s.hi = row*width, (row+h)*width
-		s.active = make([]uint64, (s.hi-s.lo+63)/64)
-		s.loopPos = s.lo
-		laneStarts[si] = s.lo
-		for r := s.lo; r < s.hi; r++ {
-			e.shardOf[r] = uint8(si)
-		}
 		row += h
 	}
-	// Boundary margins: the two rows on each side of every shard start.
-	for si := 1; si < k; si++ {
-		f := e.shards[si].lo / width
-		r0, r1 := f-2, f+2
-		if r0 < 0 {
-			r0 = 0
-		}
-		if r1 > rows {
-			r1 = rows
-		}
-		e.margins = append(e.margins, span{r0 * width, r1 * width})
-	}
+	e.layoutShards(cuts)
 	e.net.SetShards(k)
-	e.ctrl.SetStatsLanes(laneStarts)
+	e.ctrl.SetStatsLanes(e.laneStarts)
 
 	// Observability wiring. Metrics lanes mirror the shard layout just
 	// built (laneStarts), so shard-goroutine hooks stay owner-only; the
@@ -924,7 +980,7 @@ func newEngine(cfg Config) (*engine, error) {
 		runLabel = cfg.Spec.Name + "/" + cfg.Trace.Name
 	}
 	if e.obsM != nil {
-		e.obsM.BindRun(runLabel, laneStarts, nR, cfg.EpochTicks, cfg.CollectSeries)
+		e.obsM.BindRun(runLabel, e.laneStarts, nR, cfg.EpochTicks, cfg.CollectSeries)
 		e.ctrl.SetObserver(e.obsM)
 	}
 	if e.tr != nil {
@@ -932,6 +988,7 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 
 	e.lazy = !cfg.NoActiveSet
+	e.tiling = e.lazy && k > 1 && !cfg.FixedTiling
 	if e.lazy {
 		e.lastTick = make([]int64, nR)
 		e.armTick = make([]int64, nR)
@@ -1173,6 +1230,14 @@ func (e *engine) stepUntil(limit int64, drainStop bool) bool {
 				e.tr.Instant(obs.EngineTrack, "epoch", tick+1, -1)
 			}
 			if e.lazy {
+				if e.tiling {
+					// Re-cut the partition toward the observed load while
+					// the workers are parked and every router is caught up
+					// (the barrier above); refreshActive below rebuilds
+					// membership and arms against whatever partition this
+					// chose, so a re-split never touches simulated state.
+					e.maybeResplit(tick + 1)
+				}
 				e.refreshActive(tick + 1)
 			}
 		}
@@ -1209,6 +1274,8 @@ func (e *engine) finish() {
 			ActiveRouters:  e.activeCount(),
 			PoolHits:       hits,
 			PoolMisses:     misses,
+			ShardLoad:      e.shardLoads(),
+			ShardResplits:  e.resplits,
 		})
 	}
 	if e.tr != nil {
@@ -1290,6 +1357,8 @@ func (e *engine) epochBoundary(now timing.Tick) {
 		ActiveRouters:  e.activeCount(),
 		PoolHits:       hits,
 		PoolMisses:     misses,
+		ShardLoad:      e.shardLoads(),
+		ShardResplits:  e.resplits,
 	}, e.ctrl, e.meter)
 }
 
@@ -1305,6 +1374,8 @@ func (e *engine) result(ticks int64, drained bool) *Result {
 	for si := range e.shards {
 		lazyTicks += e.shards[si].lazyTicks
 	}
+	shardLoad := make([]int64, len(e.shards))
+	copy(shardLoad, e.shardLoads())
 	res := &Result{
 		Model:                  e.cfg.Spec.Name,
 		Trace:                  traceName,
@@ -1314,6 +1385,9 @@ func (e *engine) result(ticks int64, drained bool) *Result {
 		LazySkippedRouterTicks: lazyTicks,
 		ParallelTicks:          e.parallelTicks,
 		ParallelLandings:       e.parallelLandings,
+		ShardLoad:              shardLoad,
+		ShardLoadImbalance:     loadImbalance(shardLoad),
+		ShardResplits:          e.resplits,
 		PacketsInjected:        e.net.PacketsInjected(),
 		PacketsDelivered:       e.net.PacketsDelivered(),
 		FlitsDelivered:         e.net.FlitsDelivered(),
