@@ -11,8 +11,15 @@ build:
 test:
 	$(GO) test ./...
 
+# Static hygiene gate: go vet plus a gofmt drift check (gofmt -l lists
+# any file whose formatting differs from canonical; a non-empty list
+# fails the target and prints the offenders).
 vet:
 	$(GO) vet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt: the following files need reformatting:"; \
+		echo "$$fmtout"; exit 1; \
+	fi
 
 # The race target is the concurrency gate: it exercises the Suite's
 # parallel entry points (CompareParallel, HarvestParallel,
@@ -28,7 +35,7 @@ race:
 # multi-client and backpressure tests (DESIGN.md §5f) ride along: they
 # are the multiplexing layer's race gate.
 race-sharded:
-	$(GO) test -race -run 'TestShardedSweepEngagesAndMatchesSerial|TestParallelLandings|TestActiveSetEquivalence|TestRetile' ./internal/sim
+	$(GO) test -race -run 'TestShardedSweepEngagesAndMatchesSerial|TestParallelLandings|TestActiveSetEquivalence|TestRetile|TestHorizonEquivalence' ./internal/sim
 	$(GO) test -race -run 'TestDaemonConcurrentClients|TestDaemonBackpressureBusy|TestDaemonServeTCP' ./internal/cosim
 
 # Protocol fuzz smoke: run the cosim frame-decoder fuzz target for 10s
@@ -63,7 +70,7 @@ bench-compare:
 # given), failing on >10% regression of the min-of-runs ns/op via
 # cmd/benchtxt -gate (min, not mean, so a noisy runner needs every run
 # disturbed to trip it; raise COUNT for more samples per benchmark).
-GATE_BENCHES = BenchmarkHotspot|BenchmarkBigMesh|BenchmarkBigMeshWire|BenchmarkMediumLoad
+GATE_BENCHES = BenchmarkHotspot|BenchmarkBigMesh|BenchmarkBigMeshWire|BenchmarkMediumLoad|BenchmarkBursty|BenchmarkClosedLoopMcsim
 COUNT ?= 1
 bench-gate:
 	@test -n "$(BASE)" || { echo "bench-gate: no BENCH_*.json baseline found (set BASE=)"; exit 2; }

@@ -226,6 +226,98 @@ func BenchmarkFastForwardLowLoad(b *testing.B) {
 	b.Run("tickbytick", func(b *testing.B) { run(b, true) })
 }
 
+// burstTrace builds sparse bursts separated by idle gaps far longer than
+// an epoch: a handful of packets every ~20000 ticks on an 8x8 mesh. The
+// gaps are where the event horizon earns its keep — with LinkTicks 3 the
+// tail of each burst leaves flits on wires and routers mid-wakeup, so
+// the old quiescence precondition would have ticked through the drain
+// and every wake window one base tick at a time.
+func burstTrace(topo topology.Topology, horizon int64) *traffic.Trace {
+	nc := topo.NumCores()
+	tr := &traffic.Trace{Name: "burst", Cores: nc, Horizon: horizon}
+	for t, i := int64(0), 0; t < horizon; t, i = t+20_000, i+1 {
+		for k := 0; k < 6; k++ {
+			src := (i*7 + k*13) % nc
+			dst := (src + 17 + k) % nc
+			if dst == src {
+				dst = (dst + 1) % nc
+			}
+			tr.Entries = append(tr.Entries, traffic.Entry{
+				Time: t + int64(k%3), Src: src, Dst: dst, Kind: flit.Request,
+			})
+		}
+	}
+	return tr
+}
+
+// BenchmarkBursty measures the event-horizon path on bursty low-load
+// traffic (sparse bursts, idle gaps much longer than an epoch) with
+// 3-tick wires. The horizon arm must engage both skip regimes
+// (quiescent fast-forward and non-quiescent horizon skips); the
+// tick-by-tick sub-benchmark is the same configuration with
+// NoFastForward, the ISSUE-8 acceptance baseline.
+func BenchmarkBursty(b *testing.B) {
+	topo := topology.NewMesh(8, 8)
+	tr := burstTrace(topo, 600_000)
+	run := func(b *testing.B, noFF bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(sim.Config{
+				Topo:          topo,
+				Spec:          policy.DozzNoC(policy.ReactiveSelector{}),
+				Trace:         tr,
+				LinkTicks:     3,
+				NoFastForward: noFF,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !noFF && res.FastForwardedTicks == 0 {
+				b.Fatal("fast-forward never engaged")
+			}
+			if !noFF && res.HorizonSkippedTicks == 0 {
+				b.Fatal("event horizon never engaged")
+			}
+		}
+	}
+	b.Run("horizon", func(b *testing.B) { run(b, false) })
+	b.Run("tickbytick", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkClosedLoopMcsim measures the engine directly under the
+// closed-loop mcsim workload — the regime the event horizon opened up
+// (fast-forward used to be disabled whenever a Workload was attached).
+// The horizon arm asserts non-quiescent skips engage; the tick-by-tick
+// arm is the same configuration with NoFastForward.
+func BenchmarkClosedLoopMcsim(b *testing.B) {
+	topo := topology.NewMesh(4, 4)
+	params := mcsim.DefaultSystem(topo)
+	params.Core.Instructions = 20_000
+	run := func(b *testing.B, noFF bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w, err := mcsim.New(params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sim.Run(sim.Config{
+				Topo:          topo,
+				Spec:          policy.DozzNoC(policy.ReactiveSelector{}),
+				Workload:      w,
+				NoFastForward: noFF,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !noFF && res.HorizonSkippedTicks == 0 {
+				b.Fatal("event horizon never engaged on the closed-loop workload")
+			}
+		}
+	}
+	b.Run("horizon", func(b *testing.B) { run(b, false) })
+	b.Run("tickbytick", func(b *testing.B) { run(b, true) })
+}
+
 // runActiveSetBench runs one trace under the gating DozzNoC model with
 // active-set scheduling on (the default) or off, asserting the lazy
 // path actually engaged when enabled. Global fast-forward stays enabled

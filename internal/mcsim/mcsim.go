@@ -17,11 +17,13 @@ package mcsim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/flit"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/traffic"
 )
 
 // CoreParams describe one core's synthetic workload.
@@ -133,15 +135,39 @@ func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
-// System is the multicore workload; it implements sim.Workload.
+// fpScale is the fixed-point denominator for per-core retirement and
+// miss-credit accounting. Integer arithmetic here is what makes the
+// event-horizon contract (NextInjectionTick / SkipTicks) exact: the
+// credit accrued over a skipped window is a closed-form integer sum,
+// bit-identical to adding the per-tick increment delta times, which a
+// float accumulator cannot guarantee.
+const fpScale = 1 << 20
+
+const fpOne = int64(fpScale)
+
+// System is the multicore workload; it implements sim.Workload and
+// traffic.NextInjector (the event-horizon watermark).
 type System struct {
 	p   SystemParams
 	rng *rand.Rand
 
-	retired     []float64 // instructions per core
-	missCredit  []float64
+	retired     []int64 // fixed-point (fpScale) instructions per core
+	missCredit  []int64 // fixed-point miss credit per core
 	outstanding []int
 	stalled     []int64 // stalled ticks per core (stats)
+
+	// Fixed-point per-tick increments, precomputed from CoreParams:
+	// ipcFP is retirement per unstalled tick, instrFP the per-core
+	// budget, incComm/incQuiet the miss-credit increment during the
+	// communication and quiet phase windows (equal when phasing is
+	// disabled). commBound is the integer phase predicate: the tick is
+	// in the communication window iff now%PhasePeriod < commBound.
+	ipcFP     int64
+	instrFP   int64
+	incComm   int64
+	incQuiet  int64
+	commBound int64
+	phased    bool
 
 	inflight map[uint64]*miss // network packet ID -> miss
 	events   eventHeap
@@ -154,7 +180,10 @@ type System struct {
 	l2Misses     int64
 }
 
-var _ sim.Workload = (*System)(nil)
+var (
+	_ sim.Workload         = (*System)(nil)
+	_ traffic.NextInjector = (*System)(nil)
+)
 
 // New builds the workload.
 func New(p SystemParams) (*System, error) {
@@ -165,11 +194,32 @@ func New(p SystemParams) (*System, error) {
 	s := &System{
 		p:           p,
 		rng:         rand.New(rand.NewSource(p.Seed)),
-		retired:     make([]float64, t.NumCores()),
-		missCredit:  make([]float64, t.NumCores()),
+		retired:     make([]int64, t.NumCores()),
+		missCredit:  make([]int64, t.NumCores()),
 		outstanding: make([]int, t.NumCores()),
 		stalled:     make([]int64, t.NumCores()),
 		inflight:    make(map[uint64]*miss),
+	}
+	cp := p.Core
+	s.ipcFP = int64(math.Round(cp.IPC * fpScale))
+	if s.ipcFP < 1 {
+		return nil, fmt.Errorf("mcsim: IPC %g below fixed-point resolution 1/%d", cp.IPC, fpScale)
+	}
+	if cp.Instructions > math.MaxInt64/fpScale {
+		return nil, fmt.Errorf("mcsim: instruction budget %d overflows fixed-point accounting", cp.Instructions)
+	}
+	s.instrFP = cp.Instructions * fpScale
+	s.phased = cp.PhasePeriod > 0 && cp.CommFrac > 0 && cp.CommFrac < 1
+	if s.phased {
+		boost := (1 - cp.QuietScale*(1-cp.CommFrac)) / cp.CommFrac
+		s.incComm = int64(math.Round(cp.IPC * cp.L1MPKI * boost / 1000 * fpScale))
+		s.incQuiet = int64(math.Round(cp.IPC * cp.L1MPKI * cp.QuietScale / 1000 * fpScale))
+		// Integer phase predicate: for integer x, x < y iff x < ceil(y),
+		// so now%P < commBound replicates float64(now%P) < CommFrac*P.
+		s.commBound = int64(math.Ceil(cp.CommFrac * float64(cp.PhasePeriod)))
+	} else {
+		s.incComm = int64(math.Round(cp.IPC * cp.L1MPKI / 1000 * fpScale))
+		s.incQuiet = s.incComm
 	}
 	s.mcs = []int{
 		t.CoreAt(t.RouterAt(0, 0), 0),
@@ -188,17 +238,19 @@ func New(p SystemParams) (*System, error) {
 	return s, nil
 }
 
-// mpkiAt returns the phase-modulated L1 MPKI at tick now.
-func (s *System) mpkiAt(now int64) float64 {
-	c := s.p.Core
-	if c.PhasePeriod <= 0 || c.CommFrac <= 0 || c.CommFrac >= 1 {
-		return c.L1MPKI
+// segmentAt returns the per-tick miss-credit increment in effect at tick
+// t and the first tick after t at which it may change (the current phase
+// window's end; MaxInt64 when phasing is disabled).
+func (s *System) segmentAt(t int64) (inc, segEnd int64) {
+	if !s.phased {
+		return s.incComm, math.MaxInt64
 	}
-	boost := (1 - c.QuietScale*(1-c.CommFrac)) / c.CommFrac
-	if float64(now%c.PhasePeriod) < c.CommFrac*float64(c.PhasePeriod) {
-		return c.L1MPKI * boost
+	pp := s.p.Core.PhasePeriod
+	pos := t % pp
+	if pos < s.commBound {
+		return s.incComm, t + (s.commBound - pos)
 	}
-	return c.L1MPKI * c.QuietScale
+	return s.incQuiet, t + (pp - pos)
 }
 
 // Tick implements sim.Workload: advance cores, issue misses, fire due
@@ -212,20 +264,20 @@ func (s *System) Tick(now int64, inject func(*flit.Packet)) {
 		s.inflight[p.ID] = ev.m
 	}
 
-	mpki := s.mpkiAt(now)
+	inc, _ := s.segmentAt(now)
 	cp := s.p.Core
 	for c := range s.retired {
-		if s.retired[c] >= float64(cp.Instructions) {
+		if s.retired[c] >= s.instrFP {
 			continue // finished
 		}
 		if s.outstanding[c] >= cp.MSHRs {
 			s.stalled[c]++
 			continue
 		}
-		s.retired[c] += cp.IPC
-		s.missCredit[c] += cp.IPC * mpki / 1000.0
-		for s.missCredit[c] >= 1 && s.outstanding[c] < cp.MSHRs {
-			s.missCredit[c]--
+		s.retired[c] += s.ipcFP
+		s.missCredit[c] += inc
+		for s.missCredit[c] >= fpOne && s.outstanding[c] < cp.MSHRs {
+			s.missCredit[c] -= fpOne
 			s.issueMiss(c, inject)
 		}
 	}
@@ -306,11 +358,147 @@ func (s *System) closestMC(core int) int {
 // Done implements sim.Workload.
 func (s *System) Done() bool {
 	for c := range s.retired {
-		if s.retired[c] < float64(s.p.Core.Instructions) {
+		if s.retired[c] < s.instrFP {
 			return false
 		}
 	}
 	return len(s.inflight) == 0 && len(s.events) == 0 && s.totalOutstanding() == 0
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// creditCrossing returns the first tick >= now at which core c's miss
+// credit reaches a whole miss — its next injection opportunity, assuming
+// the core retires uninterrupted from now on — or NoPendingInjection if
+// that cannot happen before the core finishes its budget. The walk
+// advances one phase segment at a time; the iteration cap only makes the
+// answer conservative (an earlier tick that the engine then processes
+// normally), never early.
+func (s *System) creditCrossing(c int, now int64) int64 {
+	if s.incComm <= 0 && s.incQuiet <= 0 {
+		return traffic.NoPendingInjection
+	}
+	finish := now + ceilDiv(s.instrFP-s.retired[c], s.ipcFP) - 1
+	credit := s.missCredit[c]
+	t := now
+	for iter := 0; iter < 32; iter++ {
+		inc, segEnd := s.segmentAt(t)
+		if inc > 0 {
+			if k := ceilDiv(fpOne-credit, inc); k <= segEnd-t {
+				if cross := t + k - 1; cross <= finish {
+					return cross
+				}
+				return traffic.NoPendingInjection
+			}
+			credit += (segEnd - t) * inc
+		}
+		t = segEnd
+		if t > finish {
+			return traffic.NoPendingInjection
+		}
+	}
+	return t
+}
+
+// NextInjectionTick implements traffic.NextInjector: the earliest tick
+// >= now at which Tick may inject a packet or Done may change, absent
+// deliveries. Three sources bound it: the service-event heap (bank/MC
+// completions re-inject at their due tick), each unstalled unfinished
+// core's miss-credit crossing, and — once the system is retirement-only
+// (nothing in flight, no events, no outstanding misses, hence no core
+// can stall) — the tick the last core finishes, where Done flips and a
+// draining run must stop.
+func (s *System) NextInjectionTick(now int64) int64 {
+	next := traffic.NoPendingInjection
+	if len(s.events) > 0 {
+		t := s.events[0].at
+		if t < now {
+			t = now
+		}
+		next = t
+	}
+	cp := s.p.Core
+	for c := range s.retired {
+		if s.retired[c] >= s.instrFP || s.outstanding[c] >= cp.MSHRs {
+			// Finished cores never inject again; stalled cores need a
+			// delivery first, and deliveries bound the engine's horizon
+			// on their own (wire due, event heap).
+			continue
+		}
+		if t := s.creditCrossing(c, now); t < next {
+			next = t
+		}
+	}
+	if len(s.inflight) == 0 && len(s.events) == 0 && s.totalOutstanding() == 0 {
+		fin := int64(-1)
+		for c := range s.retired {
+			if s.retired[c] < s.instrFP {
+				if f := now + ceilDiv(s.instrFP-s.retired[c], s.ipcFP) - 1; f > fin {
+					fin = f
+				}
+			}
+		}
+		if fin >= now && fin < next {
+			next = fin
+		}
+	}
+	return next
+}
+
+// creditAccrued sums the per-tick miss-credit increments over the window
+// [now, now+n), one phase segment at a time.
+func (s *System) creditAccrued(now, n int64) int64 {
+	var sum int64
+	t, end := now, now+n
+	for t < end {
+		inc, segEnd := s.segmentAt(t)
+		if segEnd > end {
+			segEnd = end
+		}
+		sum += (segEnd - t) * inc
+		t = segEnd
+	}
+	return sum
+}
+
+// SkipTicks implements traffic.NextInjector: replay the accounting Tick
+// would have performed over the skipped window [now, now+delta) in
+// closed form. Finished cores do nothing; stalled cores accrue stalled
+// time (they cannot unstall without a delivery, and deliveries end the
+// window); running cores retire min(delta, remaining) ticks' worth of
+// instructions and accrue miss credit. The engine only skips windows the
+// watermark cleared, so a credit crossing inside one is a contract
+// violation — detected loudly rather than silently dropping a miss.
+func (s *System) SkipTicks(now, delta int64) {
+	cp := s.p.Core
+	accFull := int64(-1) // increments are core-independent; computed once
+	for c := range s.retired {
+		if s.retired[c] >= s.instrFP {
+			continue
+		}
+		if s.outstanding[c] >= cp.MSHRs {
+			s.stalled[c] += delta
+			continue
+		}
+		n := delta
+		if rem := ceilDiv(s.instrFP-s.retired[c], s.ipcFP); rem < n {
+			n = rem
+		}
+		var acc int64
+		if n == delta {
+			if accFull < 0 {
+				accFull = s.creditAccrued(now, delta)
+			}
+			acc = accFull
+		} else {
+			acc = s.creditAccrued(now, n)
+		}
+		s.retired[c] += n * s.ipcFP
+		s.missCredit[c] += acc
+		if s.missCredit[c] >= fpOne {
+			panic(fmt.Sprintf("mcsim: SkipTicks(%d, %d) crossed core %d's miss-credit boundary — NextInjectionTick watermark violated", now, delta, c))
+		}
+	}
 }
 
 func (s *System) totalOutstanding() int {
@@ -341,7 +529,7 @@ func (s *System) Stats() Stats {
 func (s *System) InstructionsRetired() int64 {
 	var t int64
 	for _, r := range s.retired {
-		t += int64(r)
+		t += r / fpScale
 	}
 	return t
 }

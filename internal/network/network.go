@@ -393,6 +393,36 @@ func (n *Network) Quiescent() bool {
 		n.queuedPackets == 0 && n.securedTotal == 0
 }
 
+// BufferedFlits returns the number of flits sitting in router buffers
+// (injected, not yet delivered, and not currently riding a wire). Flits
+// enter the injected counter when they land in the source router's input
+// buffer, leave the delivered counter at ejection, and are excluded
+// while in wire transit — so the difference minus the wire population is
+// exactly the total router-buffer occupancy. The event-horizon path
+// requires this to be zero: with every buffer empty, no router cycle can
+// move a flit, so the only future events are wire arrivals, injections,
+// and controller timers. Only current between Commits.
+func (n *Network) BufferedFlits() int64 {
+	return n.flitsInjected - n.flitsDelivered - int64(n.wireLen())
+}
+
+// HasQueued reports whether any core has a packet waiting or
+// mid-injection. Only current between Commits.
+func (n *Network) HasQueued() bool { return n.queuedPackets > 0 }
+
+// QueuedAtRouter returns the number of packets waiting (or
+// mid-injection) across the cores attached to one router. The horizon
+// path uses it to find routers whose next local cycle would inject,
+// which caps how far time may be skipped.
+func (n *Network) QueuedAtRouter(routerID int) int {
+	c0 := routerID * n.Topo.Concentration()
+	q := 0
+	for lp := 0; lp < n.Topo.Concentration(); lp++ {
+		q += n.QueuedPackets(c0 + lp)
+	}
+	return q
+}
+
 // Secured reports whether a router currently holds securing claims.
 func (n *Network) Secured(routerID int) bool { return n.secured[routerID] > 0 }
 

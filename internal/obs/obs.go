@@ -67,9 +67,10 @@ type Epoch struct {
 	LazyTicks    int64
 
 	// Engine scheduling deltas.
-	ParallelTicks      int64
-	ParallelLandings   int64
-	FastForwardedTicks int64
+	ParallelTicks       int64
+	ParallelLandings    int64
+	FastForwardedTicks  int64
+	HorizonSkippedTicks int64
 
 	// ResidencyDelta is the network-total base ticks spent per billing
 	// state this epoch: index 0 = gated, 1 = wakeup (the wakeup-stall
@@ -111,10 +112,11 @@ type Snapshot struct {
 
 	// Scheduling mirrors, accumulated independently of the engine's own
 	// Result diagnostics so the two can be cross-checked.
-	LazyTicks          int64 `json:"lazy_router_ticks"`
-	ParallelTicks      int64 `json:"parallel_ticks"`
-	ParallelLandings   int64 `json:"parallel_landings"`
-	FastForwardedTicks int64 `json:"fast_forwarded_ticks"`
+	LazyTicks           int64 `json:"lazy_router_ticks"`
+	ParallelTicks       int64 `json:"parallel_ticks"`
+	ParallelLandings    int64 `json:"parallel_landings"`
+	FastForwardedTicks  int64 `json:"fast_forwarded_ticks"`
+	HorizonSkippedTicks int64 `json:"horizon_skipped_ticks"`
 
 	ShardSweeps   []int64 `json:"shard_sweeps"`   // sweeps per shard
 	ActiveRouters int     `json:"active_routers"` // active-set size at the last fold
@@ -168,9 +170,9 @@ type Metrics struct {
 
 	// Engine-goroutine scheduling mirrors (per-epoch deltas are taken at
 	// folds).
-	parallelTicks, parallelLandings, ffTicks             int64
-	lastParallelTicks, lastParallelLandings, lastFFTicks int64
-	lastLanes                                            Lane // drained lane sums at the previous fold
+	parallelTicks, parallelLandings, ffTicks, horizonTicks               int64
+	lastParallelTicks, lastParallelLandings, lastFFTicks, lastHorizTicks int64
+	lastLanes                                                            Lane // drained lane sums at the previous fold
 
 	// Prediction bookkeeping (engine goroutine; EpochDecision fires only
 	// from the boundary sweep).
@@ -217,8 +219,8 @@ func (m *Metrics) BindRun(label string, laneStarts []int, numRouters int, epochT
 	m.prevRes = [2 + power.NumActiveModes]int64{}
 	m.prevStat, m.prevDyn = 0, 0
 	m.prevPHits, m.prevPMiss = 0, 0
-	m.parallelTicks, m.parallelLandings, m.ffTicks = 0, 0, 0
-	m.lastParallelTicks, m.lastParallelLandings, m.lastFFTicks = 0, 0, 0
+	m.parallelTicks, m.parallelLandings, m.ffTicks, m.horizonTicks = 0, 0, 0, 0
+	m.lastParallelTicks, m.lastParallelLandings, m.lastFFTicks, m.lastHorizTicks = 0, 0, 0, 0
 	m.lastLanes = Lane{}
 	m.lastPred = make([]float64, numRouters)
 	for i := range m.lastPred {
@@ -282,6 +284,11 @@ func (m *Metrics) OnLazyCatchUp(si int, delta int64) { m.lanes[si].LazyTicks += 
 
 // OnFastForward records a quiescent-window jump of delta ticks.
 func (m *Metrics) OnFastForward(delta int64) { m.ffTicks += delta }
+
+// OnHorizonSkip records an event-horizon jump of delta ticks taken while
+// the network was not quiescent (flits on wires, packets queued, or
+// claims held — but every router buffer empty).
+func (m *Metrics) OnHorizonSkip(delta int64) { m.horizonTicks += delta }
 
 // OnParallelTick records one concurrently swept tick and the due wire
 // transits its shard workers landed.
@@ -361,9 +368,11 @@ func (m *Metrics) FoldEpoch(f EpochFold, ctrl *policy.Controller, meters []power
 	ep.ParallelTicks = m.parallelTicks - m.lastParallelTicks
 	ep.ParallelLandings = m.parallelLandings - m.lastParallelLandings
 	ep.FastForwardedTicks = m.ffTicks - m.lastFFTicks
+	ep.HorizonSkippedTicks = m.horizonTicks - m.lastHorizTicks
 	m.lastParallelTicks = m.parallelTicks
 	m.lastParallelLandings = m.parallelLandings
 	m.lastFFTicks = m.ffTicks
+	m.lastHorizTicks = m.horizonTicks
 
 	if m.predN > 0 {
 		ep.AvgPredIBU = m.predSum / float64(m.predN)
@@ -415,6 +424,7 @@ func (m *Metrics) publish(f EpochFold) {
 	m.totals.ParallelTicks = m.parallelTicks
 	m.totals.ParallelLandings = m.parallelLandings
 	m.totals.FastForwardedTicks = m.ffTicks
+	m.totals.HorizonSkippedTicks = m.horizonTicks
 	m.totals.ActiveRouters = f.ActiveRouters
 	m.totals.PoolHits = f.PoolHits
 	m.totals.PoolMisses = f.PoolMisses

@@ -598,6 +598,42 @@ func (c *Controller) FastForward(routerID int, delta int64) int64 {
 	}
 }
 
+// FastForwardSecured is the FastForward variant for a router that holds
+// securing claims for the entire skipped window. The one behavioral
+// difference is the idle counter of an Active power-gating router: eager
+// stepping runs PostCycle after every fired local cycle, and PostCycle
+// resets idleCycles to 0 whenever the router is secured — so a secured
+// window with at least one fired cycle ends with idleCycles == 0, not
+// idleCycles + fires. Every other state (Inactive, Wakeup, mid-switch,
+// non-gating models) ignores the secured bit and delegates to
+// FastForward. The engine picks the variant per router from the
+// network's secured count, which cannot change inside a horizon window
+// (claims are only raised or released by injections, landings and flit
+// movement, all of which bound the window).
+func (c *Controller) FastForwardSecured(routerID int, delta int64) int64 {
+	pm := &c.pm[routerID]
+	if pm.state != Active || pm.switchLeft > 0 || !c.spec.PowerGating {
+		return c.FastForward(routerID, delta)
+	}
+	fires := pm.domain.AdvanceBy(delta)
+	if fires > 0 {
+		pm.idleCycles = 0
+	}
+	return fires
+}
+
+// TicksToNextCycle returns the relative base tick offset at which the
+// router's next local cycle fires: 0 means "during the current tick".
+// The engine's event-horizon path uses it to cap a skip at the next
+// injection opportunity of an Active router with packets queued at its
+// attached cores (injection happens inside the router cycle, so no
+// packet can enter the network strictly before this offset). Only
+// meaningful for routers whose clock is running (Active; callers gate on
+// CanAccept).
+func (c *Controller) TicksToNextCycle(routerID int) int64 {
+	return c.pm[routerID].domain.TicksUntilCycle(1) - 1
+}
+
 // PostCycle updates idleness after a router's network cycle and gates the
 // router once it has been idle T-Idle consecutive cycles (only when the
 // model power-gates). A router is idle when its buffers are empty and it

@@ -31,6 +31,7 @@ import (
 // hardware.
 func zeroSchedulingDiagnostics(r *sim.Result) {
 	r.FastForwardedTicks = 0
+	r.HorizonSkippedTicks = 0
 	r.LazySkippedRouterTicks = 0
 	r.ParallelTicks = 0
 	r.ParallelLandings = 0
@@ -205,10 +206,13 @@ func TestActiveSetLazyTicksScheduleInvariant(t *testing.T) {
 }
 
 // TestActiveSetEquivalenceClosedLoop proves the equivalence on a
-// closed-loop mcsim workload, where injection reacts to deliveries and
-// global fast-forward never engages — the regime active-set scheduling
-// was built for. Both the engine Results and the workload's own stats
-// must match.
+// closed-loop mcsim workload, where injection reacts to deliveries. The
+// lazy/sharded arms run with the event-horizon path enabled (mcsim
+// implements traffic.NextInjector, so fast-forward engages even with a
+// Workload attached) while the eager arm disables it — the comparison
+// therefore also pins horizon-skip exactness against tick-by-tick
+// execution. Both the engine Results and the workload's own stats must
+// match.
 func TestActiveSetEquivalenceClosedLoop(t *testing.T) {
 	topo := topology.NewMesh(4, 4)
 	params := mcsim.DefaultSystem(topo)

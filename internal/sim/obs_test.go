@@ -118,6 +118,9 @@ func TestObsMirrorsEngineDiagnostics(t *testing.T) {
 	if snap.FastForwardedTicks != res.FastForwardedTicks {
 		t.Errorf("obs FastForwardedTicks %d != Result %d", snap.FastForwardedTicks, res.FastForwardedTicks)
 	}
+	if snap.HorizonSkippedTicks != res.HorizonSkippedTicks {
+		t.Errorf("obs HorizonSkippedTicks %d != Result %d", snap.HorizonSkippedTicks, res.HorizonSkippedTicks)
+	}
 	if snap.LazyTicks != res.LazySkippedRouterTicks {
 		t.Errorf("obs LazyTicks %d != Result %d", snap.LazyTicks, res.LazySkippedRouterTicks)
 	}

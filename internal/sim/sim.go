@@ -274,12 +274,27 @@ type Result struct {
 
 	Ticks   int64
 	Drained bool // the network emptied before MaxTicks
-	// FastForwardedTicks counts base ticks covered by the quiescent-window
-	// fast-forward path (0 with NoFastForward, or when the network never
-	// went quiescent). Diagnostic only: it is a Result field that may
+	// FastForwardedTicks counts base ticks covered by closed-form skips
+	// taken while the network was fully quiescent (no flit anywhere, no
+	// packet queued, no securing claim). The event-horizon path relaxed
+	// the old precondition: skips are now also taken with flits riding
+	// wires, packets queued behind gated routers, or claims held — those
+	// non-quiescent skips are counted by HorizonSkippedTicks instead, so
+	// the two fields partition the skipped time by regime. 0 with
+	// NoFastForward. Diagnostic only: it is a Result field that may
 	// differ between a fast-forward and a tick-by-tick run of the same
 	// configuration — everything else is bit-identical.
 	FastForwardedTicks int64
+	// HorizonSkippedTicks counts base ticks covered by event-horizon
+	// skips taken while the network was NOT quiescent — flits in wire
+	// transit, packets queued at cores behind non-accepting or
+	// slow-clocked routers, or securing claims held — but every router
+	// buffer was empty, so the next effect was computable in closed form
+	// (earliest of: next trace entry, next workload injection, next wire
+	// arrival, next controller timer, next local cycle of a router with
+	// queued packets, epoch boundary). 0 with NoFastForward. Diagnostic
+	// only, like FastForwardedTicks.
+	HorizonSkippedTicks int64
 	// LazySkippedRouterTicks counts router-ticks (one router deferred for
 	// one base tick) covered by the active-set lazy catch-up path instead
 	// of eager per-tick stepping (0 with NoActiveSet). Diagnostic only,
@@ -494,7 +509,8 @@ type engine struct {
 	sumLatency int64
 	nLatency   int64
 
-	ffTicks          int64 // ticks covered by the fast-forward path
+	ffTicks          int64 // ticks covered by quiescent-window skips
+	horizonTicks     int64 // ticks covered by non-quiescent horizon skips
 	parallelTicks    int64 // ticks swept concurrently across shards
 	parallelLandings int64 // due wire transits landed by shard workers
 
@@ -551,6 +567,11 @@ type engine struct {
 	tick      int64
 	drained   bool
 	ffEnabled bool
+	// nextInj is the workload's event-horizon watermark (nil when no
+	// workload is attached, or when the workload does not implement
+	// traffic.NextInjector — in which case ffEnabled is forced off,
+	// since an opaque Tick callback may inject at any base tick).
+	nextInj traffic.NextInjector
 }
 
 // canDefer reports whether a router may leave the active set: no
@@ -1012,8 +1033,43 @@ func newEngine(cfg Config) (*engine, error) {
 		// this capacity makes the per-delivery latency append allocation-free.
 		e.latencies = make([]int64, 0, len(e.entries))
 	}
-	e.ffEnabled = !cfg.NoFastForward && cfg.Workload == nil
+	e.ffEnabled = !cfg.NoFastForward
+	if cfg.Workload != nil {
+		if inj, ok := cfg.Workload.(traffic.NextInjector); ok {
+			e.nextInj = inj
+		} else {
+			// Without a watermark the workload may inject at any tick, so
+			// every base tick must call Tick: no skipping is sound.
+			e.ffEnabled = false
+		}
+	}
 	return e, nil
+}
+
+// ffRouter advances one router across a skipped window of delta base
+// ticks: residency billing in its current (frozen) billing state,
+// controller catch-up in closed form, and empty-cycle replay for each
+// fired local cycle. Occupancy is zero for every router across a skipped
+// window (BufferedFlits was zero and nothing lands mid-window), so
+// ibuNum is untouched and SkipCycles' empty-router replay is exact.
+// Routers holding securing claims take the FastForwardSecured variant —
+// eager stepping would have run PostCycle with the secured bit set after
+// every fired cycle — and the secured set cannot change inside the
+// window (claims are only raised by injections, landings and flit
+// forwarding, and only released by flit movement, all of which bound the
+// window), so sampling it once here is exact.
+func (e *engine) ffRouter(r int, delta int64) {
+	mode, wt := e.ctrl.BillingState(r)
+	e.meter[r].AddStatic(mode, wt, delta)
+	var cycles int64
+	if e.net.Secured(r) {
+		cycles = e.ctrl.FastForwardSecured(r, delta)
+	} else {
+		cycles = e.ctrl.FastForward(r, delta)
+	}
+	if cycles > 0 {
+		e.net.Routers[r].SkipCycles(cycles)
+	}
 }
 
 // injectNow hands a packet to the network at the tick currently being
@@ -1043,96 +1099,143 @@ func (e *engine) stepUntil(limit int64, drainStop bool) bool {
 	tick := e.tick
 	defer func() { e.tick = tick }()
 	for ; tick < limit; tick++ {
-		// Fast-forward: when the fabric is quiescent, every tick until the
-		// next injection, epoch boundary, or power-state transition is
-		// "boring" — billing and idle counting are its only effects — so we
-		// jump straight to the next interesting tick, charging the skipped
-		// window in closed form. The interesting tick itself is processed
-		// normally below. See DESIGN.md for the invariant argument. In
-		// drain mode an exhausted schedule never reaches here with work
-		// left (the drain check would have fired), so the jump is always
-		// bounded by a pending entry; a session window without drainStop
-		// may instead jump across pure idle time toward the window limit.
-		if e.ffEnabled && e.net.Quiescent() && (e.cursor < len(e.entries) || !drainStop) {
-			var delta int64
-			if e.cursor < len(e.entries) {
-				delta = e.entries[e.cursor].Time - tick
-			} else {
-				delta = limit - tick
+		// Event horizon: when every router buffer is empty, no router
+		// cycle can move a flit, so the next tick where anything beyond
+		// closed-form accounting happens is the earliest of: the next
+		// pending injection (trace cursor or workload watermark), the
+		// next wire arrival, the next controller timer (wakeup/switch
+		// completion, idle-gating fire, armed gating tick), the next
+		// local cycle of a router with packets queued at its cores
+		// (injection happens inside that cycle), and the epoch boundary.
+		// Every tick before that is "boring" — billing, idle counting and
+		// clock phase are its only effects — so we jump there in closed
+		// form; the interesting tick itself is processed normally below.
+		// This subsumes the original quiescent-window fast-forward: fully
+		// quiescent windows compute the same bounds and still count as
+		// FastForwardedTicks, while windows skipped with flits riding
+		// wires, packets queued, or claims held count as
+		// HorizonSkippedTicks. See DESIGN.md §5h for the invariant
+		// argument. In drain mode a run that is finished (source
+		// exhausted, network empty) stops at the drain check instead of
+		// skipping; a session window without drainStop may jump across
+		// pure idle time toward the window limit.
+		if e.ffEnabled && e.net.BufferedFlits() == 0 {
+			sourceDone := e.cursor >= len(e.entries)
+			if cfg.Workload != nil {
+				sourceDone = cfg.Workload.Done()
 			}
-			if b := (tick/cfg.EpochTicks+1)*cfg.EpochTicks - 1 - tick; b < delta {
-				delta = b
-			}
-			if m := limit - tick; m < delta {
-				delta = m
-			}
-			if e.lazy {
-				// Deferred routers are dormant (no pending autonomous
-				// event) by the active-set invariant, so only schedule
-				// members and armed gating ticks can bound the window, and
-				// only schedule members need advancing: deferred routers
-				// stay behind and are caught up against the jumped clock
-				// when next touched. An armed router's gating tick must be
-				// processed normally, so the jump stops there (stale heap
-				// heads only make the bound conservative).
-				for si := range e.shards {
-					s := &e.shards[si]
-					s.ids = s.activeIDs(s.ids[:0])
-					if len(s.armT) > 0 {
-						if b := s.armT[0] - tick; b < delta {
-							delta = b
+			if !(drainStop && sourceDone && !e.net.InFlight()) {
+				// Cheap global bounds first; the per-member scans below
+				// are skipped entirely once delta hits 0.
+				delta := limit - tick
+				if e.cursor < len(e.entries) {
+					if b := e.entries[e.cursor].Time - tick; b < delta {
+						delta = b
+					}
+				}
+				if e.nextInj != nil {
+					// Watermark and wire-due sentinels are MaxInt64;
+					// subtracting the (non-negative) tick cannot overflow.
+					if b := e.nextInj.NextInjectionTick(tick) - tick; b < delta {
+						delta = b
+					}
+				}
+				if b := (tick/cfg.EpochTicks+1)*cfg.EpochTicks - 1 - tick; b < delta {
+					delta = b
+				}
+				if b := e.net.NextWireDue() - tick; b < delta {
+					delta = b
+				}
+				// A router whose next local cycle would inject a queued
+				// packet caps the jump at that cycle's tick: injection is
+				// the one buffer-filling event controller timers don't
+				// predict. Routers with queued packets always hold
+				// securing claims (Inject raises the claim before the
+				// wake request), so in lazy mode they are schedule
+				// members and the member scan sees them.
+				queued := e.net.HasQueued()
+				if e.lazy {
+					// Deferred routers are dormant (no pending autonomous
+					// event, no claims) by the active-set invariant, so
+					// only schedule members and armed gating ticks can
+					// bound the window, and only schedule members need
+					// advancing: deferred routers stay behind and are
+					// caught up against the jumped clock when next
+					// touched. An armed router's gating tick must be
+					// processed normally, so the jump stops there (stale
+					// heap heads only make the bound conservative).
+					for si := range e.shards {
+						s := &e.shards[si]
+						s.ids = s.activeIDs(s.ids[:0])
+						if len(s.armT) > 0 {
+							if b := s.armT[0] - tick; b < delta {
+								delta = b
+							}
+						}
+						for _, r := range s.ids {
+							if delta <= 0 {
+								break
+							}
+							if ev := e.ctrl.TicksToNextEvent(r); ev < delta {
+								delta = ev
+							}
+							if queued && e.ctrl.CanAccept(r) && e.net.QueuedAtRouter(r) > 0 {
+								if b := e.ctrl.TicksToNextCycle(r); b < delta {
+									delta = b
+								}
+							}
 						}
 					}
-					for _, r := range s.ids {
-						if delta <= 0 {
-							break
+					if delta > 0 {
+						for si := range e.shards {
+							for _, r := range e.shards[si].ids {
+								e.ffRouter(r, delta)
+								e.lastTick[r] += delta
+							}
 						}
+					}
+				} else {
+					for r := 0; r < nR && delta > 0; r++ {
 						if ev := e.ctrl.TicksToNextEvent(r); ev < delta {
 							delta = ev
 						}
-					}
-				}
-				if delta > 0 {
-					for si := range e.shards {
-						for _, r := range e.shards[si].ids {
-							mode, wt := e.ctrl.BillingState(r)
-							e.meter[r].AddStatic(mode, wt, delta)
-							// Occupancy is zero while quiescent: ibuNum unchanged.
-							if cycles := e.ctrl.FastForward(r, delta); cycles > 0 {
-								e.net.Routers[r].SkipCycles(cycles)
+						if queued && e.ctrl.CanAccept(r) && e.net.QueuedAtRouter(r) > 0 {
+							if b := e.ctrl.TicksToNextCycle(r); b < delta {
+								delta = b
 							}
-							e.lastTick[r] += delta
 						}
 					}
-				}
-			} else {
-				for r := 0; r < nR && delta > 0; r++ {
-					if ev := e.ctrl.TicksToNextEvent(r); ev < delta {
-						delta = ev
+					if delta > 0 {
+						for r := 0; r < nR; r++ {
+							e.ffRouter(r, delta)
+						}
 					}
 				}
 				if delta > 0 {
-					for r := 0; r < nR; r++ {
-						mode, wt := e.ctrl.BillingState(r)
-						e.meter[r].AddStatic(mode, wt, delta)
-						// Occupancy is zero while quiescent: ibuNum unchanged.
-						if cycles := e.ctrl.FastForward(r, delta); cycles > 0 {
-							e.net.Routers[r].SkipCycles(cycles)
+					if e.nextInj != nil {
+						e.nextInj.SkipTicks(tick, delta)
+					}
+					if e.net.Quiescent() {
+						e.ffTicks += delta
+						if e.obsM != nil {
+							e.obsM.OnFastForward(delta)
+						}
+						if e.tr != nil {
+							e.tr.Span(obs.EngineTrack, "fast-forward", "", tick, delta)
+						}
+					} else {
+						e.horizonTicks += delta
+						if e.obsM != nil {
+							e.obsM.OnHorizonSkip(delta)
+						}
+						if e.tr != nil {
+							e.tr.Span(obs.EngineTrack, "horizon-skip", "", tick, delta)
 						}
 					}
-				}
-			}
-			if delta > 0 {
-				e.ffTicks += delta
-				if e.obsM != nil {
-					e.obsM.OnFastForward(delta)
-				}
-				if e.tr != nil {
-					e.tr.Span(obs.EngineTrack, "fast-forward", "", tick, delta)
-				}
-				tick += delta
-				if tick >= limit {
-					break
+					tick += delta
+					if tick >= limit {
+						break
+					}
 				}
 			}
 		}
@@ -1382,6 +1485,7 @@ func (e *engine) result(ticks int64, drained bool) *Result {
 		Ticks:                  ticks,
 		Drained:                drained,
 		FastForwardedTicks:     e.ffTicks,
+		HorizonSkippedTicks:    e.horizonTicks,
 		LazySkippedRouterTicks: lazyTicks,
 		ParallelTicks:          e.parallelTicks,
 		ParallelLandings:       e.parallelLandings,

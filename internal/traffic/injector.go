@@ -1,0 +1,102 @@
+// Event-horizon injection watermark. The engine's fast-forward path used
+// to be disabled whenever a closed-loop Workload was attached, because an
+// opaque Tick callback might inject at any base tick. NextInjector is the
+// optional contract that re-enables it: a workload that can predict its
+// own next injection opportunity (and replay the accounting of a skipped
+// idle window in closed form) lets the engine jump over the quiet ticks
+// in between. Replay is the trace-shaped reference implementation; the
+// mcsim multicore model implements the same interface over its pipeline
+// credit arithmetic.
+package traffic
+
+import (
+	"math"
+
+	"repro/internal/flit"
+)
+
+// NoPendingInjection is the sentinel NextInjectionTick returns when the
+// source will never inject again (absent future deliveries). Chosen as
+// MaxInt64 so callers can fold it with min() against other watermarks
+// without a special case.
+const NoPendingInjection = int64(math.MaxInt64)
+
+// NextInjector is the optional event-horizon contract for closed-loop
+// workloads (sim.Workload implementations). When a workload also
+// implements NextInjector, the engine keeps fast-forward enabled: instead
+// of calling Tick on every base tick it may skip a window [now, now+delta)
+// during which the workload promises to neither inject nor change its
+// Done status, then call SkipTicks so the workload's internal accounting
+// (retirement, phase credit) advances by the same closed form.
+type NextInjector interface {
+	// NextInjectionTick returns the earliest tick >= now at which Tick
+	// may inject a packet or Done may change, assuming no deliveries are
+	// observed before then (a delivery re-runs the horizon computation,
+	// so the promise only needs to hold while the network hands nothing
+	// back). Returning now means "this very tick" and disables skipping;
+	// NoPendingInjection means "never again without a delivery".
+	NextInjectionTick(now int64) int64
+	// SkipTicks informs the workload that the engine skipped the window
+	// [now, now+delta) without calling Tick: the workload must advance
+	// whatever per-tick accounting Tick would have performed, in closed
+	// form, such that its observable behavior from now+delta onward is
+	// bit-identical to having been ticked eagerly. The engine only calls
+	// it with delta bounded by NextInjectionTick(now) - now.
+	SkipTicks(now, delta int64)
+}
+
+// Replay is a Workload adapter over a sorted trace: it injects each
+// entry at its stamped time and is Done when the cursor is exhausted.
+// Primarily a reference NextInjector (its watermark is just the next
+// entry's timestamp) and a harness for driving the Workload code path
+// with trace-shaped traffic in tests; production trace runs use the
+// engine's native cursor, which shares the same closed form.
+type Replay struct {
+	trace   *Trace
+	cursor  int
+	packets int64
+}
+
+// NewReplay wraps a trace (entries must be time-sorted, as Validate
+// requires) in a replay workload.
+func NewReplay(tr *Trace) *Replay { return &Replay{trace: tr} }
+
+// Tick injects every entry stamped at or before now.
+func (w *Replay) Tick(now int64, inject func(p *flit.Packet)) {
+	for w.cursor < len(w.trace.Entries) {
+		en := w.trace.Entries[w.cursor]
+		if en.Time > now {
+			break
+		}
+		inject(flit.New(0, en.Src, en.Dst, en.Kind, now))
+		w.cursor++
+	}
+}
+
+// PacketDelivered counts deliveries; replay traffic is open-loop, so
+// nothing stalls on them.
+func (w *Replay) PacketDelivered(p *flit.Packet, core int, now int64) {
+	w.packets++
+}
+
+// Done reports whether every entry has been injected.
+func (w *Replay) Done() bool { return w.cursor >= len(w.trace.Entries) }
+
+// Delivered returns the number of packets delivered back to the replay.
+func (w *Replay) Delivered() int64 { return w.packets }
+
+// NextInjectionTick returns the next entry's timestamp (clamped to now),
+// or NoPendingInjection once the trace is exhausted.
+func (w *Replay) NextInjectionTick(now int64) int64 {
+	if w.cursor >= len(w.trace.Entries) {
+		return NoPendingInjection
+	}
+	if t := w.trace.Entries[w.cursor].Time; t > now {
+		return t
+	}
+	return now
+}
+
+// SkipTicks is a no-op: replay holds no per-tick accounting between
+// entries.
+func (w *Replay) SkipTicks(now, delta int64) {}
