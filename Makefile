@@ -3,7 +3,7 @@ BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
 # bench-gate baseline: newest committed snapshot unless overridden.
 BASE ?= $(shell ls BENCH_*.json 2>/dev/null | sort | tail -1)
 
-.PHONY: build test vet race race-sharded fuzz-smoke bench bench-compare bench-gate obs-overhead check golden-update
+.PHONY: build test vet race race-sharded fuzz-smoke bench bench-compare bench-gate obs-overhead sweep-smoke check golden-update
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,7 @@ race:
 race-sharded:
 	$(GO) test -race -run 'TestShardedSweepEngagesAndMatchesSerial|TestParallelLandings|TestActiveSetEquivalence|TestRetile|TestHorizonEquivalence' ./internal/sim
 	$(GO) test -race -run 'TestDaemonConcurrentClients|TestDaemonBackpressureBusy|TestDaemonServeTCP' ./internal/cosim
+	$(GO) test -race -run 'TestSweep' ./internal/sweep
 
 # Protocol fuzz smoke: run the cosim frame-decoder fuzz target for 10s
 # on top of its committed seed corpus (internal/cosim/testdata/fuzz).
@@ -53,8 +54,9 @@ bench:
 	$(GO) run ./cmd/benchtxt $(BENCH_FILE)
 
 # Diff two bench snapshots: make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json
-# Prefers benchstat (statistically sound) when installed; falls back to
-# cmd/benchtxt's mean-based ns/op delta table otherwise.
+# Prefers benchstat when installed; the cmd/benchtxt fallback applies the
+# same significance convention (Mann-Whitney U at alpha=0.05, `~` for
+# indistinguishable deltas), so both paths agree on what changed.
 bench-compare:
 	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "usage: make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json"; exit 2; }
 	@if command -v benchstat >/dev/null 2>&1; then \
@@ -90,11 +92,23 @@ obs-overhead:
 	DOZZNOC_OBS=1 $(GO) test -bench=BenchmarkMediumLoad -benchmem -count=$(OBS_COUNT) -json . > .obs-on.json
 	$(GO) run ./cmd/benchtxt -gate -pattern 'BenchmarkMediumLoad' -max-regress 2 .obs-off.json .obs-on.json
 
+# Sweep-orchestrator crash-safety smoke: run a tiny 2-model x 2-bench
+# matrix through cmd/sweep with a forced stop after 2 rows, resume it to
+# completion, and -check that the results file is complete and matches
+# the spec's matrix (exit 1 if any row is missing, torn, or misordered).
+SWEEP_SMOKE_OUT = .sweep-smoke.jsonl
+sweep-smoke:
+	@rm -f $(SWEEP_SMOKE_OUT)
+	$(GO) run ./cmd/sweep -spec cmd/sweep/testdata/smoke.json -out $(SWEEP_SMOKE_OUT) -max-runs 2
+	$(GO) run ./cmd/sweep -spec cmd/sweep/testdata/smoke.json -out $(SWEEP_SMOKE_OUT)
+	$(GO) run ./cmd/sweep -spec cmd/sweep/testdata/smoke.json -out $(SWEEP_SMOKE_OUT) -check
+	@rm -f $(SWEEP_SMOKE_OUT)
+
 # CI entry point: vet + full tests (includes the cosim protocol and
 # bit-exact daemon-equivalence suites) + sharded-equivalence race gate +
 # full race detector sweep + protocol fuzz smoke + observability
-# overhead gate.
-check: vet test race-sharded race fuzz-smoke obs-overhead
+# overhead gate + sweep-orchestrator restart smoke.
+check: vet test race-sharded race fuzz-smoke obs-overhead sweep-smoke
 
 # Regenerate the cmd/experiments golden snapshots after an intentional
 # output change (review the diff before committing).

@@ -8,7 +8,12 @@
 //
 // With -compare and two files it prints a per-benchmark ns/op delta
 // table itself — a benchstat fallback for environments without the
-// tool (`make bench-compare` prefers benchstat when installed):
+// tool (`make bench-compare` prefers benchstat when installed). Like
+// benchstat, the delta is significance-gated: the per-run samples of
+// both sides feed a Mann-Whitney U test, and a benchmark whose change
+// cannot be distinguished from noise at alpha=0.05 prints `~` instead
+// of a misleading percentage, so the fallback and benchstat agree on
+// what counts as a real change:
 //
 //	benchtxt -compare BENCH_old.json BENCH_new.json
 //
@@ -33,11 +38,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/stats"
 )
 
 // event is the subset of a test2json record benchtxt needs.
@@ -53,22 +61,27 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 10, "allowed mean ns/op regression percent for -gate")
 	flag.Parse()
 	args := flag.Args()
+	// Stdout is buffered, and the flush error is checked like any other
+	// output path: a full disk or closed pipe at flush time must not
+	// hide behind exit code 0.
+	out := bufio.NewWriter(os.Stdout)
+	var err error
 	switch {
 	case *gate && len(args) == 2:
-		if err := gateFiles(args[0], args[1], *pattern, *maxRegress); err != nil {
-			fatal(err)
-		}
+		err = gateFiles(out, args[0], args[1], *pattern, *maxRegress)
 	case *compare && !*gate && len(args) == 2:
-		if err := compareFiles(args[0], args[1]); err != nil {
-			fatal(err)
-		}
+		err = compareFiles(out, args[0], args[1])
 	case !*compare && !*gate && len(args) == 1:
-		if err := dumpText(args[0]); err != nil {
-			fatal(err)
-		}
+		err = dumpText(out, args[0])
 	default:
 		fmt.Fprintln(os.Stderr, "usage: benchtxt FILE.json | benchtxt -compare OLD.json NEW.json | benchtxt -gate [-pattern RE] [-max-regress PCT] BASE.json NEW.json")
 		os.Exit(2)
+	}
+	if ferr := out.Flush(); ferr != nil && err == nil {
+		err = ferr
+	}
+	if err != nil {
+		fatal(err)
 	}
 }
 
@@ -100,8 +113,8 @@ func outputLines(path string, fn func(line string)) error {
 	return sc.Err()
 }
 
-func dumpText(path string) error {
-	return outputLines(path, func(line string) { fmt.Print(line) })
+func dumpText(w io.Writer, path string) error {
+	return outputLines(path, func(line string) { fmt.Fprint(w, line) })
 }
 
 // result is one benchmark's aggregated measurements.
@@ -193,7 +206,14 @@ func metric(fields []string, unit string) (float64, bool) {
 	return 0, false
 }
 
-func compareFiles(oldPath, newPath string) error {
+// compareFiles prints the benchstat-fallback delta table. The per-run
+// ns/op samples of both sides feed stats.CompareSamples: the delta
+// column shows a percentage only when a Mann-Whitney U test rejects
+// "same distribution" at stats.Alpha, and `~` otherwise — benchstat's
+// convention, so the fallback never claims a change benchstat would
+// call noise. With a single run per side nothing is ever significant;
+// record logs with -count=4 or more to give the test power.
+func compareFiles(w io.Writer, oldPath, newPath string) error {
 	oldR, err := parseBench(oldPath)
 	if err != nil {
 		return err
@@ -212,11 +232,14 @@ func compareFiles(oldPath, newPath string) error {
 	if len(names) == 0 {
 		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
 	}
-	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(w, "%-50s %14s %14s %9s %7s %7s\n", "benchmark", "old ns/op", "new ns/op", "delta", "p", "runs")
 	for _, name := range names {
-		o, n := oldR[name].mean(), newR[name].mean()
-		fmt.Printf("%-50s %14.0f %14.0f %+7.1f%%\n", name, o, n, 100*(n-o)/o)
+		o, n := oldR[name], newR[name]
+		d := stats.CompareSamples(o.samples, n.samples)
+		fmt.Fprintf(w, "%-50s %14.0f %14.0f %9s %7.3f %3dv%-3d\n",
+			name, d.OldMean, d.NewMean, d.PctString(), d.U.P, o.runs, n.runs)
 	}
+	fmt.Fprintf(w, "(~ = no significant difference at alpha=%g, Mann-Whitney U)\n", stats.Alpha)
 	return nil
 }
 
@@ -227,7 +250,7 @@ func compareFiles(oldPath, newPath string) error {
 // run is printed with its delta against the base minimum. Benchmarks
 // present on only one side are ignored (new benchmarks have no baseline;
 // retired ones gate nothing).
-func gateFiles(basePath, newPath, pattern string, maxRegress float64) error {
+func gateFiles(w io.Writer, basePath, newPath, pattern string, maxRegress float64) error {
 	re, err := regexp.Compile(pattern)
 	if err != nil {
 		return fmt.Errorf("bad -pattern: %v", err)
@@ -250,7 +273,7 @@ func gateFiles(basePath, newPath, pattern string, maxRegress float64) error {
 	if len(names) == 0 {
 		return fmt.Errorf("no common benchmarks matching %q between %s and %s", pattern, basePath, newPath)
 	}
-	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "base min", "new min", "delta")
+	fmt.Fprintf(w, "%-50s %14s %14s %8s\n", "benchmark", "base min", "new min", "delta")
 	var failed []string
 	for _, name := range names {
 		b, n := baseR[name].min(), newR[name].min()
@@ -260,14 +283,14 @@ func gateFiles(basePath, newPath, pattern string, maxRegress float64) error {
 			verdict = "  REGRESSED"
 			failed = append(failed, name)
 		}
-		fmt.Printf("%-50s %14.0f %14.0f %+7.1f%%%s\n", name, b, n, delta, verdict)
+		fmt.Fprintf(w, "%-50s %14.0f %14.0f %+7.1f%%%s\n", name, b, n, delta, verdict)
 		if verdict != "" {
 			for i, s := range newR[name].samples {
 				mark := ""
 				if s == n {
 					mark = "  <- min"
 				}
-				fmt.Printf("    new run %d/%d: %.0f ns/op (%+.1f%% vs base min)%s\n",
+				fmt.Fprintf(w, "    new run %d/%d: %.0f ns/op (%+.1f%% vs base min)%s\n",
 					i+1, newR[name].runs, s, 100*(s-b)/b, mark)
 			}
 		}
@@ -275,6 +298,6 @@ func gateFiles(basePath, newPath, pattern string, maxRegress float64) error {
 	if len(failed) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% on min-of-runs ns/op: %s", len(failed), maxRegress, strings.Join(failed, ", "))
 	}
-	fmt.Printf("gate passed: %d benchmark(s) within %.0f%% of %s (min of runs)\n", len(names), maxRegress, basePath)
+	fmt.Fprintf(w, "gate passed: %d benchmark(s) within %.0f%% of %s (min of runs)\n", len(names), maxRegress, basePath)
 	return nil
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -78,7 +80,7 @@ func TestGateMinIgnoresNoisySpike(t *testing.T) {
 		"BenchmarkMesh-8\t 100\t 1050 ns/op",
 		"BenchmarkMesh-8\t 100\t 1850 ns/op",
 	)
-	if err := gateFiles(base, new, "", 10); err != nil {
+	if err := gateFiles(io.Discard, base, new, "", 10); err != nil {
 		t.Errorf("min-based gate tripped on a noisy spike: %v", err)
 	}
 }
@@ -98,7 +100,7 @@ func TestGateTripsOnRealRegression(t *testing.T) {
 		"BenchmarkMesh-8\t 100\t 1300 ns/op",
 		"BenchmarkHotspot-8\t 100\t 510 ns/op",
 	)
-	err := gateFiles(base, new, "", 10)
+	err := gateFiles(io.Discard, base, new, "", 10)
 	if err == nil {
 		t.Fatal("gate passed a +30% min-of-runs regression")
 	}
@@ -124,8 +126,60 @@ func TestGatePatternRestrictsSet(t *testing.T) {
 		"BenchmarkMesh-8\t 100\t 5000 ns/op",
 		"BenchmarkHotspot-8\t 100\t 505 ns/op",
 	)
-	if err := gateFiles(base, new, "^BenchmarkHotspot", 10); err != nil {
+	if err := gateFiles(io.Discard, base, new, "^BenchmarkHotspot", 10); err != nil {
 		t.Errorf("pattern-restricted gate tripped on an excluded benchmark: %v", err)
+	}
+}
+
+// TestCompareSignificanceGate pins the rewired -compare fallback to the
+// vendored Mann-Whitney machinery: a clean 4v4 separation (exact
+// two-sided p = 2/70) prints its percentage, while a noisy overlap of
+// the same magnitude-of-means prints `~` — the benchstat convention, so
+// the fallback and benchstat paths agree on what is a real change.
+func TestCompareSignificanceGate(t *testing.T) {
+	dir := t.TempDir()
+	old, new := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeLog(t, old,
+		"BenchmarkReal-8\t 100\t 1000 ns/op",
+		"BenchmarkReal-8\t 100\t 1010 ns/op",
+		"BenchmarkReal-8\t 100\t 990 ns/op",
+		"BenchmarkReal-8\t 100\t 1005 ns/op",
+		"BenchmarkNoisy-8\t 100\t 1000 ns/op",
+		"BenchmarkNoisy-8\t 100\t 1200 ns/op",
+		"BenchmarkNoisy-8\t 100\t 900 ns/op",
+		"BenchmarkNoisy-8\t 100\t 1100 ns/op",
+	)
+	writeLog(t, new,
+		"BenchmarkReal-8\t 100\t 800 ns/op",
+		"BenchmarkReal-8\t 100\t 810 ns/op",
+		"BenchmarkReal-8\t 100\t 790 ns/op",
+		"BenchmarkReal-8\t 100\t 805 ns/op",
+		"BenchmarkNoisy-8\t 100\t 1150 ns/op",
+		"BenchmarkNoisy-8\t 100\t 950 ns/op",
+		"BenchmarkNoisy-8\t 100\t 1050 ns/op",
+		"BenchmarkNoisy-8\t 100\t 1000 ns/op",
+	)
+	var buf bytes.Buffer
+	if err := compareFiles(&buf, old, new); err != nil {
+		t.Fatal(err)
+	}
+	var realLine, noisyLine string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "BenchmarkReal") {
+			realLine = line
+		}
+		if strings.HasPrefix(line, "BenchmarkNoisy") {
+			noisyLine = line
+		}
+	}
+	if !strings.Contains(realLine, "-19.9") || strings.Contains(realLine, "~") {
+		t.Errorf("separated samples not reported as significant: %q", realLine)
+	}
+	if !strings.Contains(realLine, "0.029") {
+		t.Errorf("exact p = 2/70 missing: %q", realLine)
+	}
+	if !strings.Contains(noisyLine, "~") {
+		t.Errorf("overlapping samples not reported as ~: %q", noisyLine)
 	}
 }
 

@@ -52,18 +52,28 @@ func main() {
 	flag.Parse()
 
 	// Profiles flush on normal exit only; fatal() paths abort before the
-	// expensive simulation, where a partial profile has no value.
+	// expensive simulation, where a partial profile has no value. The
+	// flush/close errors themselves are fatal: a full disk at close time
+	// truncates the profile or phase trace, and exiting 0 would hide it.
 	stopProfiles, err := cli.StartProfiles(*cpuProfile, *rtTrace, *memProfile)
 	if err != nil {
 		fatal(err)
 	}
-	defer stopProfiles()
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	observer, closeObs, err := cli.StartObs(*obsAddr, *traceOut, *traceWin)
 	if err != nil {
 		fatal(err)
 	}
-	defer closeObs()
+	defer func() {
+		if err := closeObs(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if *list {
 		for _, p := range traffic.Profiles() {

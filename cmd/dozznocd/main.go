@@ -54,7 +54,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer closeObs()
 
 	opts := cosim.Options{
 		Workers:            *workers,
@@ -89,6 +88,12 @@ func main() {
 		err = d.Serve(ln)
 	}
 	d.Close()
+	// The daemon has finalized every session into the tracer by now;
+	// flush it and surface close errors — a truncated always-on phase
+	// trace must not hide behind a clean daemon shutdown.
+	if cerr := closeObs(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fatal(err)
 	}

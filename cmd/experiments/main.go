@@ -72,14 +72,16 @@ func main() {
 		os.Exit(1)
 	}
 	runErr := run(os.Stdout, os.Stderr, rc)
-	stopProfiles()
+	if err := stopProfiles(); err != nil && runErr == nil {
+		runErr = err
+	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(out, errOut io.Writer, rc runConfig) error {
+func run(out, errOut io.Writer, rc runConfig) (retErr error) {
 	if _, err := cli.ParseShards(rc.shards); err != nil {
 		return err
 	}
@@ -151,7 +153,11 @@ func run(out, errOut io.Writer, rc runConfig) error {
 	if err != nil {
 		return err
 	}
-	defer closeObs()
+	defer func() {
+		if cerr := closeObs(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
 
 	opts := core.Options{Horizon: rc.horizon, Seed: rc.seed, Parallel: rc.parallel, Shards: rc.shards, ShardMinActive: rc.shardsMin, Obs: observer}
 	newSuite := func(topo topology.Topology, o core.Options) *core.Suite {
@@ -311,15 +317,7 @@ func writeCSVFile(errOut io.Writer, dir, name string, write func(io.Writer) erro
 		return err
 	}
 	path := filepath.Join(dir, name)
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := cli.WriteFile(path, write); err != nil {
 		return err
 	}
 	fmt.Fprintln(errOut, "wrote", path)

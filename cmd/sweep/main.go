@@ -1,0 +1,118 @@
+// Command sweep runs a declarative parameter sweep — model x benchmark x
+// topology x seed x policy-knob grids — as one crash-safe job: the run
+// matrix is expanded deterministically from a JSON spec, executed on a
+// bounded worker pool of engine suites sharing generated traces, and
+// streamed to a JSONL results file one fsync'd row per completed run.
+// Re-invoking with the same spec and output resumes where the previous
+// invocation (or crash) stopped; the finished file is byte-identical
+// either way.
+//
+// Usage:
+//
+//	sweep -spec sweep.json -out results.jsonl
+//	sweep -spec sweep.json -out results.jsonl -check
+//	sweep -spec sweep.json -out results.jsonl -compare -metric edp
+//
+// -max-runs bounds how many new rows one invocation writes (incremental
+// batches, crash-safety smoke tests); -dry-run prints the expanded run
+// IDs without executing anything; -compare aggregates the completed rows
+// into per-model arms (replicates = seeds) and tests each against the
+// baseline arm with a Mann-Whitney U test, printing "~" for deltas that
+// are not significant at alpha=0.05.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "sweep spec JSON file (required)")
+		out      = flag.String("out", "", "JSONL results file, appended to on resume (required unless -dry-run)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = spec's workers, then GOMAXPROCS)")
+		maxRuns  = flag.Int("max-runs", 0, "stop after writing this many new rows (0 = run to completion)")
+		dryRun   = flag.Bool("dry-run", false, "print the expanded run matrix and exit")
+		check    = flag.Bool("check", false, "verify -out against the spec without running; exit 1 if incomplete")
+		compare  = flag.Bool("compare", false, "after the job completes, print per-arm significance-tested comparisons")
+		metric   = flag.String("metric", "edp", "comparison metric: edp, energy, static, dynamic, latency, throughput, offfrac")
+		baseline = flag.String("baseline", "baseline", "model whose arm the others are compared against")
+	)
+	flag.Parse()
+
+	if *specPath == "" {
+		fatal(fmt.Errorf("-spec is required"))
+	}
+	spec, err := sweep.Load(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	runs, err := spec.Expand()
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dryRun {
+		for _, r := range runs {
+			fmt.Println(r.ID)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: %d runs\n", len(runs))
+		return
+	}
+	if *out == "" {
+		fatal(fmt.Errorf("-out is required"))
+	}
+
+	if *check {
+		rows, _, torn, err := sweep.ReadResults(*out)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range rows {
+			if i >= len(runs) || rows[i].ID != runs[i].ID {
+				fatal(fmt.Errorf("%s row %d does not match the spec's matrix", *out, i))
+			}
+		}
+		fmt.Printf("%s: %d/%d rows complete (torn tail: %v)\n", *out, len(rows), len(runs), torn)
+		if torn || len(rows) != len(runs) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := sweep.RunJob(spec, *out, sweep.Options{Workers: *workers, MaxNewRuns: *maxRuns, Log: os.Stderr})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d/%d rows (%d resumed, %d new", rep.Resumed+rep.Written, rep.Total, rep.Resumed, rep.Written)
+	if rep.Truncated {
+		fmt.Fprint(os.Stderr, ", torn tail discarded")
+	}
+	fmt.Fprintln(os.Stderr, ")")
+	if rep.Stopped {
+		fmt.Fprintln(os.Stderr, "sweep: stopped at -max-runs; re-run to continue")
+	}
+
+	if *compare {
+		if !rep.Done() {
+			fatal(fmt.Errorf("-compare needs a complete job (%d/%d rows)", rep.Resumed+rep.Written, rep.Total))
+		}
+		rows, _, _, err := sweep.ReadResults(*out)
+		if err != nil {
+			fatal(err)
+		}
+		cmp, err := sweep.Compare(rows, *metric, *baseline)
+		if err != nil {
+			fatal(err)
+		}
+		sweep.WriteCompare(os.Stdout, cmp, *metric, *baseline)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

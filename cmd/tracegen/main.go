@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cli"
@@ -66,22 +67,18 @@ func main() {
 		tr = tr.Compress(*compress)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w = f
+	write, err := traceWriter(tr, *format)
+	if err != nil {
+		fatal(err)
 	}
-	switch *format {
-	case "bin":
-		err = tr.WriteBinary(w)
-	case "csv":
-		err = tr.WriteCSV(w)
-	default:
-		err = fmt.Errorf("unknown format %q", *format)
+	// The Close error matters as much as the write error: a full disk
+	// often surfaces only when buffered data is flushed at close, and a
+	// bare deferred Close turned that into a truncated trace file behind
+	// exit code 0. cli.WriteFile checks both.
+	if *out != "" {
+		err = cli.WriteFile(*out, write)
+	} else {
+		err = write(os.Stdout)
 	}
 	if err != nil {
 		fatal(err)
@@ -89,6 +86,17 @@ func main() {
 	s := tr.Summarize()
 	fmt.Fprintf(os.Stderr, "%s: %d packets (%d req, %d resp), %.4f flits/core/tick over %d ticks\n",
 		tr.Name, s.Packets, s.Requests, s.Responses, s.FlitRate, s.Span)
+}
+
+// traceWriter selects the encoder for -format.
+func traceWriter(tr *traffic.Trace, format string) (func(io.Writer) error, error) {
+	switch format {
+	case "bin":
+		return tr.WriteBinary, nil
+	case "csv":
+		return tr.WriteCSV, nil
+	}
+	return nil, fmt.Errorf("unknown format %q", format)
 }
 
 func fatal(err error) {

@@ -4,6 +4,7 @@ package cli
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -105,8 +106,10 @@ func ParsePattern(name string) (traffic.Pattern, error) {
 // -cpuprofile/-runtimetrace/-memprofile flags. Any path may be empty. It
 // returns a stop function for the caller to defer; stop finishes the CPU
 // profile and execution trace and writes the heap profile (after a GC,
-// so it reflects live objects rather than collection timing).
-func StartProfiles(cpuPath, runtimeTracePath, memPath string) (stop func(), err error) {
+// so it reflects live objects rather than collection timing). Stop
+// returns the first flush/close error — a full disk truncates a profile
+// at close time, and that must fail the command, not vanish.
+func StartProfiles(cpuPath, runtimeTracePath, memPath string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
@@ -137,27 +140,32 @@ func StartProfiles(cpuPath, runtimeTracePath, memPath string) (stop func(), err 
 			return nil, fmt.Errorf("cli: start runtime trace: %w", err)
 		}
 	}
-	return func() {
+	return func() error {
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
+			if err := cpuFile.Close(); err != nil {
+				keep(fmt.Errorf("cli: close cpu profile: %w", err))
+			}
 		}
 		if traceFile != nil {
 			trace.Stop()
-			traceFile.Close()
+			if err := traceFile.Close(); err != nil {
+				keep(fmt.Errorf("cli: close runtime trace: %w", err))
+			}
 		}
 		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "cli: create mem profile:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "cli: write mem profile:", err)
-			}
+			keep(WriteFile(memPath, func(w io.Writer) error {
+				runtime.GC()
+				return pprof.WriteHeapProfile(w)
+			}))
 		}
+		return firstErr
 	}, nil
 }
 
@@ -171,8 +179,10 @@ func StartProfiles(cpuPath, runtimeTracePath, memPath string) (stop func(), err 
 // (the cosim daemon); 0 streams everything. It returns the Observer to
 // attach to runs — nil when both flags are off, which disables the
 // layer entirely — and a close function for the caller to defer; close
-// flushes the phase trace and shuts the endpoint down.
-func StartObs(addr, tracePath string, traceWindow int64) (*obs.Observer, func(), error) {
+// flushes the phase trace and shuts the endpoint down, returning the
+// first error — an unreported flush failure would leave a silently
+// truncated trace file behind an exit code of 0.
+func StartObs(addr, tracePath string, traceWindow int64) (*obs.Observer, func() error, error) {
 	var (
 		srv    *obs.Server
 		tf     *os.File
@@ -197,21 +207,51 @@ func StartObs(addr, tracePath string, traceWindow int64) (*obs.Observer, func(),
 		}
 		tracer = obs.NewTracerWindow(tf, traceWindow)
 	}
-	closeFn := func() {
+	closeFn := func() error {
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
 		if tracer != nil {
 			if err := tracer.Flush(); err != nil {
-				fmt.Fprintln(os.Stderr, "cli: phase trace:", err)
+				keep(fmt.Errorf("cli: phase trace: %w", err))
 			}
-			tf.Close()
+			if err := tf.Close(); err != nil {
+				keep(fmt.Errorf("cli: close phase trace: %w", err))
+			}
 		}
 		if srv != nil {
-			srv.Close()
+			keep(srv.Close())
 		}
+		return firstErr
 	}
 	if srv == nil && tracer == nil {
 		return nil, closeFn, nil
 	}
 	return &obs.Observer{Metrics: obs.NewMetrics(), Tracer: tracer}, closeFn, nil
+}
+
+// WriteFile creates path, streams write into it, and closes the file,
+// returning the first error — including the Close error, which is where
+// a full disk or quota breach finally surfaces for buffered filesystem
+// writes. Every output path in the commands funnels through it (or an
+// equivalent explicit Close check) so a truncated file can never hide
+// behind exit code 0.
+func WriteFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cli: write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cli: close %s: %w", path, err)
+	}
+	return nil
 }
 
 // LoadTrace reads a binary trace file written by cmd/tracegen.

@@ -1,8 +1,11 @@
 package cli
 
 import (
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
 
 	"repro/internal/core"
@@ -159,5 +162,48 @@ func TestLoadTrace(t *testing.T) {
 	}
 	if _, err := LoadTrace(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Error("missing file loaded")
+	}
+}
+
+// TestWriteFilePropagatesErrors is the output-path bugfix's test: both a
+// failing write and a failing Close must surface as errors, because on a
+// full disk the failure often only appears when buffered data is flushed
+// at close — the old bare `defer f.Close()` pattern produced a truncated
+// file and exit code 0.
+func TestWriteFilePropagatesErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	// Write error.
+	wantErr := errors.New("disk full")
+	err := WriteFile(filepath.Join(dir, "w"), func(io.Writer) error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("write error swallowed: %v", err)
+	}
+
+	// Close error: the callback closes the descriptor underneath the
+	// *os.File, so WriteFile's own Close must fail — the closest portable
+	// stand-in for a flush that dies at close time.
+	err = WriteFile(filepath.Join(dir, "c"), func(w io.Writer) error {
+		return syscall.Close(int(w.(*os.File).Fd()))
+	})
+	if err == nil {
+		t.Fatal("close error swallowed")
+	}
+
+	// Uncreatable path.
+	if err := WriteFile(filepath.Join(dir, "no/such/dir/f"), func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("create error swallowed")
+	}
+
+	// The success path still writes the content.
+	path := filepath.Join(dir, "ok")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(path); err != nil || string(data) != "payload" {
+		t.Fatalf("content = %q, %v", data, err)
 	}
 }

@@ -103,6 +103,14 @@ type Options struct {
 	// for any value.
 	ShardMinActive int
 
+	// PunchHops and NoPathPunch forward the injection-time wake-punch
+	// knobs (sim.Config fields of the same names) into every simulation
+	// the suite runs, including the reactive data harvests, so a trained
+	// model sees the same punching regime it will be evaluated under.
+	// PunchHops 0 keeps the paper default (punch the whole XY path).
+	PunchHops   int
+	NoPathPunch bool
+
 	// Obs attaches the observability layer (sim.Config.Obs) to the
 	// single-run entry points: RunTrace and everything routed through it
 	// (RunBenchmark, the sequential Compare). The concurrent paths —
@@ -191,6 +199,21 @@ func (s *Suite) Trace(name string) (*traffic.Trace, error) {
 	return t, nil
 }
 
+// PutTrace installs a pre-generated trace under a benchmark name, so
+// that many suites sharing one (topology, horizon, seed) configuration
+// can reuse a single immutable trace instead of regenerating it — traces
+// are read-only during simulation, and runs are deterministic, so the
+// sharing is free. The caller certifies the trace was generated with
+// this suite's topology, horizon and seed; a trace already cached under
+// the name is kept (first writer wins, like the Trace fast path).
+func (s *Suite) PutTrace(name string, t *traffic.Trace) {
+	s.mu.Lock()
+	if _, ok := s.traces[name]; !ok {
+		s.traces[name] = t
+	}
+	s.mu.Unlock()
+}
+
 // TraceCompressed returns the benchmark trace compressed by factor
 // (factor 1 returns the uncompressed trace).
 func (s *Suite) TraceCompressed(name string, factor int64) (*traffic.Trace, error) {
@@ -277,6 +300,8 @@ func (s *Suite) Dataset(kind ModelKind, trace string) (*ml.Dataset, error) {
 		EpochTicks:     s.Opts.EpochTicks,
 		Shards:         s.Opts.Shards,
 		ShardMinActive: s.Opts.ShardMinActive,
+		PunchHops:      s.Opts.PunchHops,
+		NoPathPunch:    s.Opts.NoPathPunch,
 		CollectDataset: true,
 	})
 	if err != nil {
@@ -378,8 +403,19 @@ func (s *Suite) SetTrainedModel(kind ModelKind, m *ml.Ridge) {
 	s.trained[kind] = &ml.TrainReport{Best: m}
 }
 
-// RunTrace runs one model kind over an explicit trace.
+// RunTrace runs one model kind over an explicit trace, observed by the
+// suite-wide Options.Obs (if any).
 func (s *Suite) RunTrace(kind ModelKind, t *traffic.Trace) (*sim.Result, error) {
+	return s.RunTraceObs(kind, t, s.Opts.Obs)
+}
+
+// RunTraceObs runs one model kind over an explicit trace with an
+// explicit per-run observer (which may be nil). Unlike the suite-wide
+// Options.Obs — which binds one obs.Metrics to every sequential run and
+// therefore cannot serve overlapping runs — a per-run observer lets a
+// worker pool attach one Metrics per worker, which is how the sweep
+// orchestrator captures epoch folds for concurrent runs of one suite.
+func (s *Suite) RunTraceObs(kind ModelKind, t *traffic.Trace, o *obs.Observer) (*sim.Result, error) {
 	spec, err := s.Spec(kind)
 	if err != nil {
 		return nil, err
@@ -395,7 +431,9 @@ func (s *Suite) RunTrace(kind ModelKind, t *traffic.Trace) (*sim.Result, error) 
 		EpochTicks:     s.Opts.EpochTicks,
 		Shards:         s.Opts.Shards,
 		ShardMinActive: s.Opts.ShardMinActive,
-		Obs:            s.Opts.Obs,
+		PunchHops:      s.Opts.PunchHops,
+		NoPathPunch:    s.Opts.NoPathPunch,
+		Obs:            o,
 	})
 }
 
@@ -407,6 +445,16 @@ func (s *Suite) RunBenchmark(kind ModelKind, bench string, factor int64) (*sim.R
 		return nil, err
 	}
 	return s.RunTrace(kind, t)
+}
+
+// RunBenchmarkObs is RunBenchmark with an explicit per-run observer (see
+// RunTraceObs).
+func (s *Suite) RunBenchmarkObs(kind ModelKind, bench string, factor int64, o *obs.Observer) (*sim.Result, error) {
+	t, err := s.TraceCompressed(bench, factor)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunTraceObs(kind, t, o)
 }
 
 // Comparison holds all five models' results on one workload.
@@ -576,6 +624,8 @@ func (s *Suite) CompareParallel(bench string, factor int64) (*Comparison, error)
 				EpochTicks:     s.Opts.EpochTicks,
 				Shards:         s.Opts.Shards,
 				ShardMinActive: s.Opts.ShardMinActive,
+				PunchHops:      s.Opts.PunchHops,
+				NoPathPunch:    s.Opts.NoPathPunch,
 			})
 			if err != nil {
 				errs <- fmt.Errorf("core: %v on %s: %w", kind, bench, err)

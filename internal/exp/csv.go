@@ -12,7 +12,10 @@ import (
 // Machine-readable exports: the headline, Fig 7 and Fig 8 results as CSV,
 // for plotting the paper's bar charts from raw runs.
 
-func writeCSV(w io.Writer, header []string, rows [][]string) error {
+// WriteCSVTable writes one header plus rows as CSV — the shared writer
+// behind every figure export here and the sweep orchestrator's
+// comparison-table export.
+func WriteCSVTable(w io.Writer, header []string, rows [][]string) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(header); err != nil {
 		return err
@@ -44,7 +47,7 @@ func (h *HeadlineResult) WriteCSV(w io.Writer) error {
 	if h.CMesh != nil {
 		add("cmesh4x4", *h.CMesh)
 	}
-	return writeCSV(w, header, rows)
+	return WriteCSVTable(w, header, rows)
 }
 
 // WriteCSV exports the Fig 7 mode distributions.
@@ -60,7 +63,7 @@ func (f *Fig7Result) WriteCSV(w io.Writer) error {
 			rows = append(rows, row)
 		}
 	}
-	return writeCSV(w, header, rows)
+	return WriteCSVTable(w, header, rows)
 }
 
 // WriteCSV exports the Fig 8 rows (both compressions).
@@ -77,7 +80,7 @@ func (f *Fig8Result) WriteCSV(w io.Writer) error {
 	}
 	add("1", f.Uncompr)
 	add(strconv.FormatInt(f.Compression, 10), f.Compressed)
-	return writeCSV(w, header, rows)
+	return WriteCSVTable(w, header, rows)
 }
 
 // WriteCSV exports the Fig 9 accuracies.
@@ -87,5 +90,5 @@ func (f *Fig9Result) WriteCSV(w io.Writer) error {
 	for _, r := range f.Rows {
 		rows = append(rows, []string{r.Feature, r.Bench, ftoa(r.Acc)})
 	}
-	return writeCSV(w, header, rows)
+	return WriteCSVTable(w, header, rows)
 }

@@ -143,6 +143,29 @@ type Snapshot struct {
 // WakeStallTicks returns cumulative wakeup-residency ticks.
 func (s *Snapshot) WakeStallTicks() int64 { return s.ResidencyTicks[1] }
 
+// Deterministic returns a copy with every field that can differ between
+// reruns of the same configuration zeroed: wall-clock rates, the
+// Metrics bind count, and the scheduling diagnostics that depend on the
+// shard count, the runtime-calibrated ShardMinActive threshold, or
+// worker timing. What remains — event totals, residency, prediction
+// accuracy, epoch count — is bit-exact for a given run configuration,
+// which is what lets the sweep orchestrator embed an epoch-fold capture
+// in result rows that must be byte-identical across resumed and
+// uninterrupted jobs.
+func (s Snapshot) Deterministic() Snapshot {
+	d := s
+	d.Run = 0
+	d.TicksPerSec = 0
+	d.ShardSweeps = nil
+	d.ShardLoad = nil
+	d.ShardImbalance = 0
+	d.ShardResplits = 0
+	d.ParallelTicks = 0
+	d.ParallelLandings = 0
+	d.ActiveRouters = 0
+	return d
+}
+
 // Metrics accumulates one run's observability counters. A Metrics is
 // bound to a run by the engine (BindRun), written by the engine goroutine
 // and — through the per-shard lanes — by shard goroutines, and folded at

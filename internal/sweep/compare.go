@@ -1,0 +1,169 @@
+// Per-arm comparison of sweep results with benchstat-style significance:
+// arms are models, replicates are seeds, and a delta is only printed
+// when a Mann-Whitney U test rejects "same distribution" at stats.Alpha.
+
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Metrics lists the row fields Compare can aggregate.
+var Metrics = []string{"edp", "energy", "static", "dynamic", "latency", "throughput", "offfrac"}
+
+// metricOf extracts one comparable scalar from a row.
+func metricOf(row *Row, metric string) (float64, error) {
+	switch metric {
+	case "edp":
+		return row.EDP, nil
+	case "energy":
+		return row.StaticJ + row.DynamicJ, nil
+	case "static":
+		return row.StaticJ, nil
+	case "dynamic":
+		return row.DynamicJ, nil
+	case "latency":
+		return row.AvgLatencyTicks, nil
+	case "throughput":
+		return row.Throughput, nil
+	case "offfrac":
+		return row.OffFraction, nil
+	}
+	return 0, fmt.Errorf("sweep: unknown metric %q (have %s)", metric, strings.Join(Metrics, ", "))
+}
+
+// armKey is everything that must match for two rows to be replicates of
+// the same experimental arm except the seed (the replicate axis) and the
+// model (the compared axis).
+type armKey struct {
+	topo   string
+	bench  string
+	epoch  int64
+	comp   int64
+	punch  int
+	lambda string
+}
+
+func (k armKey) label() string {
+	parts := []string{k.topo, k.bench}
+	parts = append(parts, fmt.Sprintf("ep%d", k.epoch), fmt.Sprintf("c%d", k.comp), fmt.Sprintf("ph%d", k.punch))
+	if k.lambda != "na" {
+		parts = append(parts, "l"+k.lambda)
+	}
+	return strings.Join(parts, "/")
+}
+
+// CompareRow is one (context, model) arm's aggregate, with the
+// significance-tested delta against the baseline arm of the same
+// context.
+type CompareRow struct {
+	Context string
+	Model   string
+	N       int
+	Mean    float64
+	Margin  float64 // 95% CI half-width
+	// Delta is the significance-gated change versus the baseline arm
+	// ("" for the baseline row itself, "~" when insignificant).
+	Delta string
+	P     float64 // Mann-Whitney two-sided p (1 for the baseline row)
+}
+
+// Compare aggregates rows into per-context model arms and tests each arm
+// against the baseline model's arm. Rows must come from a sweep that
+// includes the baseline model; contexts missing it are skipped with a
+// diagnostic row count of zero. More seeds mean more power: with a
+// single seed every delta is "~" by construction.
+func Compare(rows []Row, metric, baseline string) ([]CompareRow, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("sweep: no result rows to compare")
+	}
+	type arm struct {
+		key   armKey
+		model string
+	}
+	samples := make(map[arm][]float64)
+	var arms []arm
+	// Lambda is part of the context for ML models, but the baseline
+	// model's rows carry lambda "na"; compare each ML lambda arm against
+	// the context's single "na" baseline arm by erasing lambda from the
+	// baseline lookup.
+	for i := range rows {
+		v, err := metricOf(&rows[i], metric)
+		if err != nil {
+			return nil, err
+		}
+		a := arm{
+			key: armKey{
+				topo:   rows[i].Topo,
+				bench:  rows[i].Bench,
+				epoch:  rows[i].EpochTicks,
+				comp:   rows[i].Compress,
+				punch:  rows[i].PunchHops,
+				lambda: rows[i].Lambda,
+			},
+			model: rows[i].Model,
+		}
+		if _, ok := samples[a]; !ok {
+			arms = append(arms, a)
+		}
+		samples[a] = append(samples[a], v)
+	}
+	baseArm := func(k armKey) ([]float64, bool) {
+		k.lambda = "na"
+		if s, ok := samples[arm{key: k, model: baseline}]; ok {
+			return s, true
+		}
+		// A baseline that is itself ML (e.g. comparing dozznoc arms
+		// against lead) keeps its own lambda context.
+		return nil, false
+	}
+
+	var out []CompareRow
+	for _, a := range arms {
+		xs := samples[a]
+		mean, margin := stats.MeanCI95(xs)
+		row := CompareRow{Context: a.key.label(), Model: a.model, N: len(xs), Mean: mean, Margin: margin, P: 1}
+		if a.model != baseline {
+			base, ok := baseArm(a.key)
+			if !ok {
+				base, ok = samples[arm{key: a.key, model: baseline}]
+			}
+			if ok {
+				d := stats.CompareSamples(base, xs)
+				row.Delta = d.PctString()
+				row.P = d.U.P
+			} else {
+				row.Delta = "?" // no baseline arm in this context
+			}
+		}
+		out = append(out, row)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Context != out[j].Context {
+			return out[i].Context < out[j].Context
+		}
+		// Baseline first within a context, then spec order (stable).
+		return out[i].Model == baseline && out[j].Model != baseline
+	})
+	return out, nil
+}
+
+// WriteCompare renders a comparison as an aligned text table.
+func WriteCompare(w io.Writer, rows []CompareRow, metric, baseline string) {
+	fmt.Fprintf(w, "metric %s, baseline %s (delta is ~ when a Mann-Whitney U test cannot\n", metric, baseline)
+	fmt.Fprintf(w, "reject identical distributions at alpha=%g; replicates are seeds)\n", stats.Alpha)
+	fmt.Fprintf(w, "%-36s %-10s %3s %14s %12s %9s %8s\n", "context", "model", "n", "mean", "ci95", "delta", "p")
+	for _, r := range rows {
+		delta := r.Delta
+		if delta == "" {
+			delta = "(base)"
+		}
+		fmt.Fprintf(w, "%-36s %-10s %3d %14.6g %12.4g %9s %8.4f\n",
+			r.Context, r.Model, r.N, r.Mean, r.Margin, delta, r.P)
+	}
+}
