@@ -3,7 +3,7 @@ BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
 # bench-gate baseline: newest committed snapshot unless overridden.
 BASE ?= $(shell ls BENCH_*.json 2>/dev/null | sort | tail -1)
 
-.PHONY: build test vet race race-sharded fuzz-smoke bench bench-compare bench-gate obs-overhead sweep-smoke check golden-update
+.PHONY: build test vet race race-sharded fuzz-smoke bench bench-compare bench-gate obs-overhead metrics-lint drift-smoke sweep-smoke check golden-update
 
 build:
 	$(GO) build ./...
@@ -81,16 +81,35 @@ bench-gate:
 
 # Observability overhead gate: BenchmarkMediumLoad with obs disabled vs
 # enabled-but-unsubscribed (DOZZNOC_OBS=1 makes bench_test.go attach a
-# Metrics with no tracer and no endpoint reader). Both runs produce the
-# same benchmark names, so cmd/benchtxt -gate compares them directly;
-# the enabled run must stay within 2% of the disabled run's
-# min-of-runs ns/op — the layer is required to be near-free even when
-# someone leaves it attached.
+# Metrics with no tracer and no endpoint reader). The attached layer now
+# includes the full prediction-quality recorder — per-lane histograms,
+# mispredict-cost attribution, and the Page-Hinkley drift detector
+# (DESIGN.md §5j) — so this gate covers the whole pipeline, not just the
+# counters. Both runs produce the same benchmark names, so cmd/benchtxt
+# -gate compares them directly; the enabled run must stay within 2% of
+# the disabled run's min-of-runs ns/op — the layer is required to be
+# near-free even when someone leaves it attached.
 OBS_COUNT ?= 5
 obs-overhead:
 	$(GO) test -bench=BenchmarkMediumLoad -benchmem -count=$(OBS_COUNT) -json . > .obs-off.json
 	DOZZNOC_OBS=1 $(GO) test -bench=BenchmarkMediumLoad -benchmem -count=$(OBS_COUNT) -json . > .obs-on.json
 	$(GO) run ./cmd/benchtxt -gate -pattern 'BenchmarkMediumLoad' -max-regress 2 .obs-off.json .obs-on.json
+
+# Exposition-format gate: render the fixed-trace golden snapshot and
+# scrape a live /metrics endpoint, validating both with the vendored
+# Prometheus text-format checker (internal/obs/promlint.go) — no
+# external promtool needed. The obs-package unit tests for the renderer
+# and the checker itself ride along.
+metrics-lint:
+	$(GO) test -run 'TestMetricsGoldenExposition|TestMetricsEndpointLint' ./internal/sim
+	$(GO) test -run 'TestRenderMetrics|TestLintExposition' ./internal/obs
+
+# Drift-detection smoke: a frozen-weights model must trip the
+# Page-Hinkley detector when the workload phase-shifts away from its
+# training regime, and must stay silent on the stationary control
+# (DESIGN.md §5j).
+drift-smoke:
+	$(GO) test -run TestDriftSmoke ./internal/sim
 
 # Sweep-orchestrator crash-safety smoke: run a tiny 2-model x 2-bench
 # matrix through cmd/sweep with a forced stop after 2 rows, resume it to
@@ -107,8 +126,9 @@ sweep-smoke:
 # CI entry point: vet + full tests (includes the cosim protocol and
 # bit-exact daemon-equivalence suites) + sharded-equivalence race gate +
 # full race detector sweep + protocol fuzz smoke + observability
-# overhead gate + sweep-orchestrator restart smoke.
-check: vet test race-sharded race fuzz-smoke obs-overhead sweep-smoke
+# overhead gate + /metrics exposition lint + drift-detection smoke +
+# sweep-orchestrator restart smoke.
+check: vet test race-sharded race fuzz-smoke obs-overhead metrics-lint drift-smoke sweep-smoke
 
 # Regenerate the cmd/experiments golden snapshots after an intentional
 # output change (review the diff before committing).

@@ -48,6 +48,7 @@ func main() {
 		obsAddr    = flag.String("obs-addr", "", "serve live expvar/pprof observability on this address (e.g. localhost:6060)")
 		traceOut   = flag.String("trace-out", "", "write engine-phase spans as a Perfetto/chrome://tracing JSONL file")
 		traceWin   = flag.Int64("trace-window", 0, "keep only the trailing N base ticks of the phase trace (0 = everything)")
+		driftCfg   = cli.DriftFlags()
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 		}
 	}()
 
-	observer, closeObs, err := cli.StartObs(*obsAddr, *traceOut, *traceWin)
+	observer, closeObs, err := cli.StartObs(*obsAddr, *traceOut, *traceWin, driftCfg())
 	if err != nil {
 		fatal(err)
 	}
@@ -194,6 +195,13 @@ func main() {
 		res.Policy.Gatings, res.Policy.Wakes, res.Policy.BreakevenMet)
 	fmt.Printf("mode switches    %d over %d epoch decisions\n",
 		res.Policy.ModeSwitches, res.Policy.EpochDecisions)
+	if observer != nil && observer.Metrics != nil {
+		fmt.Printf("pred error       %.5f mean abs IBU (drift events %d)\n",
+			res.MeanAbsPredErr, res.PredDriftEvents)
+		fmt.Printf("mispredict cost  under=%d (stall %d ticks) over=%d (static waste %.3e J)\n",
+			res.UnderPredDecisions, res.UnderPredStallTicks,
+			res.OverPredDecisions, res.OverPredStaticWasteJ)
+	}
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/mcsim"
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -36,9 +37,10 @@ type runConfig struct {
 	shardsMin int // sharded serial-fallback threshold (0 = calibrate at startup)
 	meshW     int // mesh dimensions (default 8x8)
 	meshH     int
-	obsAddr   string // live expvar/pprof endpoint address ("" = off)
-	traceOut  string // engine-phase Perfetto trace path ("" = off)
-	traceWin  int64  // phase-trace retention window in base ticks (0 = everything)
+	obsAddr   string          // live expvar/pprof endpoint address ("" = off)
+	traceOut  string          // engine-phase Perfetto trace path ("" = off)
+	traceWin  int64           // phase-trace retention window in base ticks (0 = everything)
+	drift     obs.DriftConfig // Page-Hinkley drift-detector parameters
 
 	// configureSuite, when non-nil, is applied to every suite the run
 	// builds before any simulation (tests install passthrough ML models
@@ -64,7 +66,9 @@ func main() {
 	flag.StringVar(&rc.obsAddr, "obs-addr", "", "serve live expvar/pprof observability on this address (e.g. localhost:6060)")
 	flag.StringVar(&rc.traceOut, "trace-out", "", "write engine-phase spans as a Perfetto/chrome://tracing JSONL file")
 	flag.Int64Var(&rc.traceWin, "trace-window", 0, "keep only the trailing N base ticks of the phase trace (0 = everything)")
+	driftCfg := cli.DriftFlags()
 	flag.Parse()
+	rc.drift = driftCfg()
 
 	stopProfiles, err := cli.StartProfiles(cpuProfile, rtTrace, memProfile)
 	if err != nil {
@@ -149,7 +153,7 @@ func run(out, errOut io.Writer, rc runConfig) (retErr error) {
 	// The observer rides along on every sequential single-run entry point
 	// (core.Options.Obs documents why the parallel paths skip it); the
 	// live endpoint shows whichever simulation folded an epoch last.
-	observer, closeObs, err := cli.StartObs(rc.obsAddr, rc.traceOut, rc.traceWin)
+	observer, closeObs, err := cli.StartObs(rc.obsAddr, rc.traceOut, rc.traceWin, rc.drift)
 	if err != nil {
 		return err
 	}

@@ -362,13 +362,22 @@ func (c *connState) openSession(req *Request) error {
 	if len(c.sessions) >= c.d.opts.MaxSessionsPerConn {
 		return c.fail(req.ID, CodeSessionLimit, "connection already holds %d sessions", len(c.sessions))
 	}
+	// Every session carries an observer so query replies and the expvar
+	// branch can report prediction quality. The shared Options.Observer
+	// (stdio mode) wins when set; otherwise each session gets a private
+	// Metrics — safe under concurrent connections because the engine
+	// goroutine discipline is per-session and the instances share nothing.
+	observer := c.d.opts.Observer
+	if observer == nil {
+		observer = obs.New()
+	}
 	sess, err := sim.NewSession(sim.Config{
 		Topo:           topo,
 		Spec:           spec,
 		Shards:         req.Shards,
 		ShardMinActive: c.d.opts.ShardMinActive,
 		LinkTicks:      req.LinkTicks,
-		Obs:            c.d.opts.Observer,
+		Obs:            observer,
 	})
 	if err != nil {
 		return c.fail(req.ID, CodeBadField, "%v", err)
@@ -503,6 +512,14 @@ func wireStats(st sim.SessionStats) Stats {
 		AvgLatencyTicks:  st.AvgLatencyTicks,
 		StaticJ:          st.StaticJ,
 		DynamicJ:         st.DynamicJ,
+
+		EpochDecisions:       st.EpochDecisions,
+		MeanAbsPredErr:       st.MeanAbsPredErr,
+		UnderPredDecisions:   st.UnderPredDecisions,
+		OverPredDecisions:    st.OverPredDecisions,
+		UnderPredStallTicks:  st.UnderPredStallTicks,
+		OverPredStaticWasteJ: st.OverPredStaticWasteJ,
+		PredDriftEvents:      st.PredDriftEvents,
 	}
 }
 

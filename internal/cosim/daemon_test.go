@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -96,8 +97,12 @@ func TestDaemonSessionBitExact(t *testing.T) {
 			if !ok {
 				t.Fatalf("%s: no spec", name)
 			}
+			// The daemon attaches a per-session observer (prediction-quality
+			// stats in query replies); the direct session must match for the
+			// wire stats to DeepEqual.
 			direct, err := sim.NewSession(sim.Config{
 				Topo: topo, Spec: spec, Shards: shards, LinkTicks: linkTicks,
+				Obs: obs.New(),
 			})
 			if err != nil {
 				t.Fatalf("%s: direct session: %v", name, err)

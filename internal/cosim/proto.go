@@ -135,6 +135,17 @@ type Stats struct {
 	AvgLatencyTicks  float64 `json:"avg_latency_ticks"`
 	StaticJ          float64 `json:"static_j"`
 	DynamicJ         float64 `json:"dynamic_j"`
+
+	// Prediction-quality summary (sim.SessionStats semantics); all zero
+	// when the session runs without an observer. omitempty keeps old
+	// transcripts and non-ML replies byte-stable.
+	EpochDecisions       int64   `json:"epoch_decisions,omitempty"`
+	MeanAbsPredErr       float64 `json:"mean_abs_pred_err,omitempty"`
+	UnderPredDecisions   int64   `json:"underpred_decisions,omitempty"`
+	OverPredDecisions    int64   `json:"overpred_decisions,omitempty"`
+	UnderPredStallTicks  int64   `json:"underpred_stall_ticks,omitempty"`
+	OverPredStaticWasteJ float64 `json:"overpred_static_waste_j,omitempty"`
+	PredDriftEvents      int64   `json:"pred_drift_events,omitempty"`
 }
 
 // DecodeFrame parses and validates one request line (without the

@@ -20,6 +20,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/stats"
+	"repro/internal/timing"
 )
 
 // Observer bundles the optional observability sinks a run can attach
@@ -48,6 +49,18 @@ type Lane struct {
 	ModeSwitches int64 // voltage/frequency switches started
 	LazyTicks    int64 // router-ticks covered by deferred catch-up
 	Sweeps       int64 // active-set sweeps executed for this shard
+
+	// Streaming histograms, staged with the same ownership discipline as
+	// the counters: a shard goroutine writes only its own lane's copies,
+	// and the fold merges all lanes by bucket addition — exact, so the
+	// folded totals are bucket-identical to a single serial histogram
+	// (hist.go). WakeStall is fed from shard goroutines (RouterWoken);
+	// AbsErr and Latency are fed on the engine goroutine with every
+	// worker parked (the boundary sweep and the post-sweep commit), which
+	// keeps the owner-only rule intact.
+	AbsErr    Hist // per-decision |measured - predicted| IBU, ErrScale fixed-point
+	Latency   Hist // delivered packet latency, base ticks
+	WakeStall Hist // per-wake stall duration (wakeup-state ticks), base ticks
 
 	_ [64]byte
 }
@@ -134,6 +147,42 @@ type Snapshot struct {
 	EpochDecisions int64   `json:"epoch_decisions"`
 	MeanAbsPredErr float64 `json:"mean_abs_pred_err"` // |measured - predicted| IBU
 
+	// Prediction-quality layer (all deterministic for a given run
+	// configuration — they survive Deterministic() and ride in sweep
+	// rows). DecisionsByMode[i] counts boundary decisions that chose
+	// active mode M3+i.
+	DecisionsByMode [power.NumActiveModes]int64 `json:"decisions_by_mode"`
+
+	// Mispredict-cost attribution: a matured decision whose chosen mode
+	// sits below the mode the measured IBU called for is an
+	// under-prediction (the router was run too slow or gated and traffic
+	// arrived — UnderPredStallTicks charges the wakeup stalls the router
+	// accrued that epoch as the latency-penalty proxy); a chosen mode
+	// above the ideal is an over-prediction (a missed gating/slow-down
+	// opportunity — OverPredStaticWasteJ charges the static-power excess
+	// of the chosen mode over the ideal for one epoch as the attributed
+	// waste estimate). RouterUnderPred/RouterOverPred are the per-router
+	// decision counts behind the totals.
+	UnderPredDecisions   int64   `json:"underpred_decisions"`
+	OverPredDecisions    int64   `json:"overpred_decisions"`
+	UnderPredStallTicks  int64   `json:"underpred_stall_ticks"`
+	OverPredStaticWasteJ float64 `json:"overpred_static_waste_j"`
+	RouterUnderPred      []int64 `json:"router_underpred,omitempty"`
+	RouterOverPred       []int64 `json:"router_overpred,omitempty"`
+
+	// Drift detection (Page–Hinkley over the per-epoch folded mean abs
+	// error, drift.go). DriftEvents counts fires this run; LastDriftTick
+	// is the boundary tick of the most recent fire (0 if none).
+	DriftEvents   int64 `json:"pred_drift_events"`
+	LastDriftTick int64 `json:"pred_drift_last_tick"`
+
+	// Folded histograms (hist.go): per-decision absolute IBU prediction
+	// error in ErrScale fixed-point units, delivered-packet latency in
+	// base ticks, and per-wake stall duration in base ticks.
+	AbsErrHist    HistSnapshot `json:"pred_abs_err_hist"`
+	LatencyHist   HistSnapshot `json:"packet_latency_hist"`
+	WakeStallHist HistSnapshot `json:"wake_stall_hist"`
+
 	PoolHits   int64 `json:"pool_hits"`
 	PoolMisses int64 `json:"pool_misses"`
 
@@ -206,6 +255,24 @@ type Metrics struct {
 	predErrN   int64
 	errSumRun  float64 // run totals for the snapshot's mean
 	errNRun    int64
+
+	// Mispredict-cost attribution (EpochDecision, engine goroutine).
+	// lastMode is the mode each router's previous boundary chose — the
+	// decision that matures against this boundary's measured IBU.
+	// wakeStall accumulates each router's wakeup-stall ticks; it is
+	// written by the owning shard's goroutine in RouterWoken (same
+	// ownership as the lanes) and read only at the post-barrier boundary
+	// sweep; stallSeen is the engine-side cursor that turns it into
+	// per-decision deltas.
+	epochTicks int64
+	lastMode   []power.Mode
+	wakeStall  []int64
+	stallSeen  []int64
+
+	// Drift detection over the per-epoch folded mean abs error
+	// (drift.go). driftCfg survives rebinding; drift state does not.
+	driftCfg DriftConfig
+	drift    driftState
 }
 
 // NewMetrics returns an unbound Metrics; the engine binds it at run
@@ -238,7 +305,12 @@ func (m *Metrics) BindRun(label string, laneStarts []int, numRouters int, epochT
 	}
 	m.epochs = nil
 	m.lastFold = 0
-	m.totals = Snapshot{Run: m.run, Label: label, ShardSweeps: make([]int64, len(laneStarts))}
+	m.totals = Snapshot{
+		Run: m.run, Label: label,
+		ShardSweeps:     make([]int64, len(laneStarts)),
+		RouterUnderPred: make([]int64, numRouters),
+		RouterOverPred:  make([]int64, numRouters),
+	}
 	m.prevRes = [2 + power.NumActiveModes]int64{}
 	m.prevStat, m.prevDyn = 0, 0
 	m.prevPHits, m.prevPMiss = 0, 0
@@ -252,7 +324,26 @@ func (m *Metrics) BindRun(label string, laneStarts []int, numRouters int, epochT
 	m.predSum, m.predN = 0, 0
 	m.predErrSum, m.predErrN = 0, 0
 	m.errSumRun, m.errNRun = 0, 0
+	m.epochTicks = epochTicks
+	m.lastMode = make([]power.Mode, numRouters)
+	m.wakeStall = make([]int64, numRouters)
+	m.stallSeen = make([]int64, numRouters)
+	m.drift.reset(m.driftCfg)
+	setDriftGauge(0)
 }
+
+// SetDrift configures the Page–Hinkley drift detector (zero fields mean
+// defaults; a negative Lambda disables detection). The configuration
+// survives rebinding — set it once when building the Observer — but the
+// detector state itself resets per run. Call before or between runs,
+// not mid-run.
+func (m *Metrics) SetDrift(cfg DriftConfig) {
+	m.driftCfg = cfg
+	m.drift.reset(cfg)
+}
+
+// DriftEvents returns the drift-detector fire count of the current run.
+func (m *Metrics) DriftEvents() int64 { return m.totals.DriftEvents }
 
 // Series returns the per-epoch series collected for the current run (nil
 // unless BindRun asked for one).
@@ -266,11 +357,15 @@ func (m *Metrics) Epochs() []Epoch { return m.epochs }
 // RouterGated implements policy.EventObserver.
 func (m *Metrics) RouterGated(routerID int) { m.lanes[m.laneOf[routerID]].Gatings++ }
 
-// RouterWoken implements policy.EventObserver.
-func (m *Metrics) RouterWoken(routerID int, offTicks int64) {
+// RouterWoken implements policy.EventObserver. stallTicks is the base
+// ticks the router will spend in the wakeup state before its first
+// post-wake local cycle — the traffic-visible stall the wake costs.
+func (m *Metrics) RouterWoken(routerID int, offTicks, stallTicks int64) {
 	l := &m.lanes[m.laneOf[routerID]]
 	l.Wakes++
 	l.WakeOffTicks += offTicks
+	l.WakeStall.Observe(stallTicks)
+	m.wakeStall[routerID] += stallTicks
 }
 
 // ModeSwitched implements policy.EventObserver.
@@ -279,21 +374,52 @@ func (m *Metrics) ModeSwitched(routerID int, from, to power.Mode) {
 }
 
 // EpochDecision implements policy.EventObserver: it accrues the
-// predicted-IBU mean for this boundary and matures the previous
-// boundary's prediction against the measured IBU.
+// predicted-IBU mean for this boundary, matures the previous boundary's
+// prediction against the measured IBU, and attributes the matured
+// decision's mispredict cost. The comparison is mode-space: the mode the
+// previous boundary actually chose against the mode the measured IBU
+// would have called for (policy.ModeForIBU). A chosen mode below the
+// ideal is an under-prediction, charged the router's wakeup stalls since
+// its last decision; above is an over-prediction, charged one epoch of
+// the static-power excess over the ideal mode. It fires only from the
+// engine goroutine's boundary sweep, with every shard worker parked, so
+// reading the shard-written wakeStall cursor and writing the lane's
+// AbsErr histogram are both race-free.
 func (m *Metrics) EpochDecision(routerID int, measured, predicted float64, mode power.Mode) {
 	m.predSum += predicted
 	m.predN++
 	m.totals.EpochDecisions++
+	m.totals.DecisionsByMode[mode.Index()]++
 	if lp := m.lastPred[routerID]; !math.IsNaN(lp) {
 		e := math.Abs(measured - lp)
 		m.predErrSum += e
 		m.predErrN++
 		m.errSumRun += e
 		m.errNRun++
+		m.lanes[m.laneOf[routerID]].AbsErr.Observe(int64(e*ErrScale + 0.5))
+		ideal := policy.ModeForIBU(measured)
+		switch chosen := m.lastMode[routerID]; {
+		case chosen < ideal:
+			m.totals.UnderPredDecisions++
+			m.totals.RouterUnderPred[routerID]++
+			m.totals.UnderPredStallTicks += m.wakeStall[routerID] - m.stallSeen[routerID]
+		case chosen > ideal:
+			m.totals.OverPredDecisions++
+			m.totals.RouterOverPred[routerID]++
+			m.totals.OverPredStaticWasteJ += float64(m.epochTicks) *
+				(power.StaticWatts(chosen) - power.StaticWatts(ideal)) * timing.TickSeconds
+		}
 	}
+	m.stallSeen[routerID] = m.wakeStall[routerID]
 	m.lastPred[routerID] = predicted
+	m.lastMode[routerID] = mode
 }
+
+// PacketLatency records one delivered packet's latency in base ticks.
+// The engine calls it from the network's serial commit phase (engine
+// goroutine, every shard worker parked), so staging into lane 0 honors
+// the owner-only lane discipline.
+func (m *Metrics) PacketLatency(ticks int64) { m.lanes[0].Latency.Observe(ticks) }
 
 // --- engine hooks (all branch-on-nil at the call site) ---
 
@@ -336,10 +462,12 @@ type EpochFold struct {
 // totals (single-threaded — the engine calls it after Commit and the
 // catch-up barrier, while every shard worker is parked), derives the
 // residency/energy deltas from the meters, builds the stats.EpochSample
-// the series and figure pipeline consume, and publishes the live
-// snapshot. The sample computation is field-for-field the engine's
-// pre-obs code, so series CSVs are byte-identical.
-func (m *Metrics) FoldEpoch(f EpochFold, ctrl *policy.Controller, meters []power.Meter) {
+// the series and figure pipeline consume, feeds the drift detector, and
+// publishes the live snapshot. The sample computation is field-for-field
+// the engine's pre-obs code, so series CSVs are byte-identical. It
+// reports whether the drift detector fired at this fold, so the engine
+// can emit a tracer instant event for it.
+func (m *Metrics) FoldEpoch(f EpochFold, ctrl *policy.Controller, meters []power.Meter) (driftFired bool) {
 	ep := Epoch{Tick: f.Now}
 	if m.nR > 0 {
 		ep.AvgIBU = f.SumIBU / float64(m.nR)
@@ -400,15 +528,26 @@ func (m *Metrics) FoldEpoch(f EpochFold, ctrl *policy.Controller, meters []power
 	if m.predN > 0 {
 		ep.AvgPredIBU = m.predSum / float64(m.predN)
 	}
-	if m.predErrN > 0 {
+	matured := m.predErrN > 0
+	if matured {
 		ep.PredAbsErr = m.predErrSum / float64(m.predErrN)
 	}
 	m.predSum, m.predN = 0, 0
 	m.predErrSum, m.predErrN = 0, 0
 
+	// Page–Hinkley over the folded mean abs error; epochs with no matured
+	// prediction (warm-up, non-ML models) carry no signal and are skipped.
+	if matured && m.drift.observe(ep.PredAbsErr) {
+		driftFired = true
+		m.totals.DriftEvents++
+		m.totals.LastDriftTick = f.Now
+		setDriftGauge(1)
+	}
+
 	m.epochs = append(m.epochs, ep)
 	m.lastFold = f.Now
 	m.publish(f)
+	return driftFired
 }
 
 // foldLanes accumulates the (cumulative) lane counters into the run
@@ -424,6 +563,9 @@ func (m *Metrics) foldLanes(ep *Epoch) {
 		cur.WakeOffTicks += l.WakeOffTicks
 		cur.ModeSwitches += l.ModeSwitches
 		cur.LazyTicks += l.LazyTicks
+		cur.AbsErr.Merge(&l.AbsErr)
+		cur.Latency.Merge(&l.Latency)
+		cur.WakeStall.Merge(&l.WakeStall)
 		m.totals.ShardSweeps[i] = l.Sweeps
 	}
 	if ep != nil {
@@ -438,6 +580,12 @@ func (m *Metrics) foldLanes(ep *Epoch) {
 	m.totals.WakeOffTicks = cur.WakeOffTicks
 	m.totals.ModeSwitches = cur.ModeSwitches
 	m.totals.LazyTicks = cur.LazyTicks
+	// Histogram totals are the lane merge itself (cumulative, so the
+	// merge replaces rather than adds — like the counters above, and
+	// invariant under Retile because the merge spans every lane).
+	m.totals.AbsErrHist = cur.AbsErr.Snapshot()
+	m.totals.LatencyHist = cur.Latency.Snapshot()
+	m.totals.WakeStallHist = cur.WakeStall.Snapshot()
 }
 
 // publish refreshes the cumulative totals and the live expvar snapshot.
@@ -460,10 +608,22 @@ func (m *Metrics) publish(f EpochFold) {
 	if el := time.Since(m.started).Seconds(); el > 0 {
 		m.totals.TicksPerSec = float64(f.Now) / el
 	}
+	snap := m.snapshotCopy()
+	setLiveSnapshot(&snap)
+}
+
+// snapshotCopy deep-copies the totals so the returned Snapshot shares no
+// slice backing with the live fold state.
+func (m *Metrics) snapshotCopy() Snapshot {
 	snap := m.totals
 	snap.ShardSweeps = append([]int64(nil), m.totals.ShardSweeps...)
 	snap.ShardLoad = append([]int64(nil), m.totals.ShardLoad...)
-	setLiveSnapshot(&snap)
+	snap.RouterUnderPred = append([]int64(nil), m.totals.RouterUnderPred...)
+	snap.RouterOverPred = append([]int64(nil), m.totals.RouterOverPred...)
+	snap.AbsErrHist = m.totals.AbsErrHist.clone()
+	snap.LatencyHist = m.totals.LatencyHist.clone()
+	snap.WakeStallHist = m.totals.WakeStallHist.clone()
+	return snap
 }
 
 // shardImbalance is max/mean of the per-shard loads (0 when idle).
@@ -494,10 +654,7 @@ func (m *Metrics) FinishRun(ticks int64, f EpochFold) {
 // from the engine goroutine or after the run; the live endpoint reads
 // the atomically published copy instead.
 func (m *Metrics) Snapshot() Snapshot {
-	snap := m.totals
-	snap.ShardSweeps = append([]int64(nil), m.totals.ShardSweeps...)
-	snap.ShardLoad = append([]int64(nil), m.totals.ShardLoad...)
-	return snap
+	return m.snapshotCopy()
 }
 
 // Retile remaps the router->lane attribution after a load-aware shard

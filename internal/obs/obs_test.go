@@ -120,7 +120,7 @@ func TestMetricsLaneRouting(t *testing.T) {
 	m.BindRun("test", []int{0, 8}, 16, 500, false)
 	m.RouterGated(3)  // shard 0
 	m.RouterGated(11) // shard 1
-	m.RouterWoken(11, 40)
+	m.RouterWoken(11, 40, 6)
 	m.OnLazyCatchUp(1, 25)
 	m.OnSweep(0)
 	m.OnFastForward(100)
@@ -129,6 +129,9 @@ func TestMetricsLaneRouting(t *testing.T) {
 	snap := m.Snapshot()
 	if snap.Gatings != 2 || snap.Wakes != 1 || snap.WakeOffTicks != 40 || snap.LazyTicks != 25 {
 		t.Errorf("event totals wrong: %+v", snap)
+	}
+	if snap.WakeStallHist.Count != 1 || snap.WakeStallHist.Sum != 6 {
+		t.Errorf("wake-stall histogram wrong: %+v", snap.WakeStallHist)
 	}
 	if snap.FastForwardedTicks != 100 || snap.ParallelTicks != 1 || snap.ParallelLandings != 7 {
 		t.Errorf("scheduling mirrors wrong: %+v", snap)

@@ -1,0 +1,139 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4) of an obs.Snapshot,
+// hand-rolled so the simulator stays dependency-free. The renderer is a
+// pure function of the snapshot: rendering a Deterministic() snapshot
+// yields byte-identical output across reruns, which is what the golden
+// exposition test pins.
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/power"
+)
+
+// metricQuantiles are the quantiles rendered for every histogram family,
+// as <family>_quantile{q="..."} gauge samples. They are rank estimates
+// interpolated inside the log-spaced bucket holding the target rank
+// (Hist.Quantile), not exact order statistics.
+var metricQuantiles = []float64{0.5, 0.9, 0.99}
+
+// RenderMetrics renders snap in Prometheus text exposition format.
+func RenderMetrics(snap *Snapshot) []byte {
+	var b bytes.Buffer
+	model := snap.Label
+	if i := strings.IndexByte(model, '/'); i >= 0 {
+		model = model[:i]
+	}
+	lbl := `model="` + escapeLabel(model) + `"`
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s{%s} %s\n",
+			name, help, name, name, lbl, formatFloat(v))
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s{%s} %s\n",
+			name, help, name, name, lbl, formatFloat(v))
+	}
+
+	gauge("dozznoc_tick", "Last folded simulation tick (base clock).", float64(snap.Tick))
+	counter("dozznoc_epochs_total", "Epoch folds completed.", float64(snap.Epochs))
+	counter("dozznoc_gatings_total", "Router power-gating events.", float64(snap.Gatings))
+	counter("dozznoc_wakes_total", "Router wakeup events.", float64(snap.Wakes))
+	counter("dozznoc_mode_switches_total", "DVFS mode-switch events.", float64(snap.ModeSwitches))
+	counter("dozznoc_epoch_decisions_total", "Per-router epoch boundary decisions.", float64(snap.EpochDecisions))
+
+	// Per-mode decision outcomes, one labelled sample per active mode.
+	fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n",
+		"dozznoc_epoch_decisions_by_mode_total", "Epoch boundary decisions by chosen DVFS mode.",
+		"dozznoc_epoch_decisions_by_mode_total")
+	for i, n := range snap.DecisionsByMode {
+		fmt.Fprintf(&b, "dozznoc_epoch_decisions_by_mode_total{%s,mode=%q} %d\n",
+			lbl, power.ActiveMode(i).String(), n)
+	}
+
+	gauge("dozznoc_mean_abs_pred_err_ibu", "Run mean absolute IBU prediction error (matured decisions).", snap.MeanAbsPredErr)
+	counter("dozznoc_underpred_decisions_total", "Matured decisions whose chosen mode undershot the measured IBU.", float64(snap.UnderPredDecisions))
+	counter("dozznoc_overpred_decisions_total", "Matured decisions whose chosen mode overshot the measured IBU.", float64(snap.OverPredDecisions))
+	counter("dozznoc_underpred_stall_ticks_total", "Wakeup stall ticks attributed to under-prediction.", float64(snap.UnderPredStallTicks))
+	counter("dozznoc_overpred_static_waste_joules_total", "Static energy attributed to over-prediction (missed gating/slow-down).", snap.OverPredStaticWasteJ)
+	counter("dozznoc_pred_drift_events_total", "Page-Hinkley prediction-drift detector fires.", float64(snap.DriftEvents))
+	drift := 0.0
+	if snap.DriftEvents > 0 {
+		drift = 1
+	}
+	gauge("dozznoc_pred_drift_active", "1 once the drift detector has fired this run.", drift)
+	gauge("dozznoc_ticks_per_sec", "Simulated base ticks per wall-clock second.", snap.TicksPerSec)
+
+	renderRouterCounter(&b, "dozznoc_router_underpred_total",
+		"Under-prediction decisions per router (routers with at least one).", lbl, snap.RouterUnderPred)
+	renderRouterCounter(&b, "dozznoc_router_overpred_total",
+		"Over-prediction decisions per router (routers with at least one).", lbl, snap.RouterOverPred)
+
+	renderHist(&b, "dozznoc_pred_abs_err_ibu",
+		"Absolute IBU prediction error per matured decision.", lbl, snap.AbsErrHist, 1.0/ErrScale)
+	renderHist(&b, "dozznoc_packet_latency_ticks",
+		"Delivered-packet latency in base ticks.", lbl, snap.LatencyHist, 1)
+	renderHist(&b, "dozznoc_wake_stall_ticks",
+		"Per-wakeup stall duration in base ticks.", lbl, snap.WakeStallHist, 1)
+
+	return b.Bytes()
+}
+
+// renderRouterCounter emits one labelled sample per router with a
+// nonzero count, so a 64x64 mesh with a handful of mispredicting
+// routers stays readable.
+func renderRouterCounter(b *bytes.Buffer, name, help, lbl string, perRouter []int64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	for r, n := range perRouter {
+		if n != 0 {
+			fmt.Fprintf(b, "%s{%s,router=\"%d\"} %d\n", name, lbl, r, n)
+		}
+	}
+}
+
+// renderHist emits one Prometheus histogram family plus its
+// <name>_quantile gauge family. scale converts stored integer units to
+// exposition units (1/ErrScale for the fixed-point IBU error histogram,
+// 1 for tick-valued histograms); bucket boundaries scale the same way so
+// le= values are in exposition units.
+func renderHist(b *bytes.Buffer, name, help, lbl string, s HistSnapshot, scale float64) {
+	h := s.Hist()
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i := 0; i < HistBuckets; i++ {
+		cum += h.Buckets[i]
+		// Collapse trailing empty buckets into +Inf to keep quiet
+		// histograms compact; always emit bucket 0 so the family is
+		// non-empty even before any observation.
+		if i > 0 && i >= len(s.Buckets) {
+			break
+		}
+		fmt.Fprintf(b, "%s_bucket{%s,le=%q} %d\n",
+			name, lbl, formatFloat(float64(bucketUpper(i))*scale), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, lbl, h.Count)
+	fmt.Fprintf(b, "%s_sum{%s} %s\n", name, lbl, formatFloat(float64(h.Sum)*scale))
+	fmt.Fprintf(b, "%s_count{%s} %d\n", name, lbl, h.Count)
+
+	qname := name + "_quantile"
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n",
+		qname, "Bucket-interpolated quantile estimates of "+name+".", qname)
+	for _, q := range metricQuantiles {
+		fmt.Fprintf(b, "%s{%s,q=%q} %s\n",
+			qname, lbl, formatFloat(q), formatFloat(h.Quantile(q)*scale))
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,12 +1,15 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // liveSnapshot is the snapshot most recently published by any Metrics
@@ -31,17 +34,40 @@ func setLiveSnapshot(s *Snapshot) {
 // no fold has happened yet.
 func LiveSnapshot() *Snapshot { return liveSnapshot.Load() }
 
+// driftGauge is the process-global "dozznoc.pred_drift" expvar gauge:
+// 1 after the Page–Hinkley detector has fired in the current run, 0
+// otherwise (BindRun clears it). Like the snapshot it is process-global
+// because expvar names are.
+var (
+	driftGauge     expvar.Int
+	driftGaugeOnce sync.Once
+)
+
+func setDriftGauge(v int64) {
+	driftGaugeOnce.Do(func() {
+		expvar.Publish("dozznoc.pred_drift", &driftGauge)
+	})
+	driftGauge.Set(v)
+}
+
 // Server is the live observability endpoint: expvar counters under
-// /debug/vars (including the "dozznoc" snapshot) and the standard pprof
-// handlers under /debug/pprof/. It uses its own mux so enabling it never
+// /debug/vars (including the "dozznoc" snapshot), the standard pprof
+// handlers under /debug/pprof/, and a Prometheus text exposition of the
+// live snapshot under /metrics. It uses its own mux so enabling it never
 // mutates http.DefaultServeMux.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
+// shutdownTimeout bounds how long Close waits for in-flight handlers
+// before force-closing their connections.
+const shutdownTimeout = 5 * time.Second
+
 // StartServer listens on addr (e.g. "localhost:6060"; ":0" picks a free
 // port — read it back with Addr) and serves in a background goroutine.
+// The server carries header/idle timeouts so a stalled or idle scrape
+// client can never pin a connection open for the life of the run.
 func StartServer(addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -54,7 +80,12 @@ func StartServer(addr string) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	mux.HandleFunc("/metrics", metricsHandler)
+	s := &Server{ln: ln, srv: &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil
 }
@@ -62,5 +93,28 @@ func StartServer(addr string) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the listener and any in-flight handlers down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close gracefully shuts the server down: it stops accepting, waits up
+// to shutdownTimeout for in-flight handlers to finish, then force-closes
+// whatever remains. The first real error along that path is returned.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		if cerr := s.srv.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+			return cerr
+		}
+		return err
+	}
+	return err
+}
+
+// metricsHandler renders the live snapshot in Prometheus text
+// exposition format (promtext.go). Before the first fold there is
+// nothing to expose and the body is empty — still a valid exposition.
+func metricsHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if snap := LiveSnapshot(); snap != nil {
+		w.Write(RenderMetrics(snap)) //nolint:errcheck // best-effort scrape reply
+	}
+}

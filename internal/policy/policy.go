@@ -213,8 +213,11 @@ type EventObserver interface {
 	// RouterGated fires on an Active -> Inactive transition.
 	RouterGated(routerID int)
 	// RouterWoken fires on an Inactive -> Wakeup transition; offTicks is
-	// the length of the gating period that just ended, in base ticks.
-	RouterWoken(routerID int, offTicks int64)
+	// the length of the gating period that just ended, and stallTicks the
+	// number of base ticks the router will now spend charging up before
+	// it can move flits (the deterministic wakeup-stall duration at the
+	// router's current mode frequency), both in base ticks.
+	RouterWoken(routerID int, offTicks, stallTicks int64)
 	// ModeSwitched fires when an epoch decision starts a voltage switch.
 	ModeSwitched(routerID int, from, to power.Mode)
 	// EpochDecision fires for every selector run: measured is the closing
@@ -456,7 +459,10 @@ func (c *Controller) WakeRequest(routerID int) {
 		st.BreakevenMet++
 	}
 	if c.obs != nil {
-		c.obs.RouterWoken(routerID, offDur)
+		// The stall the network will now absorb: TWakeup cycles at the
+		// mode's frequency, measured in base ticks from the domain reset
+		// that just happened.
+		c.obs.RouterWoken(routerID, offDur, pm.domain.TicksUntilCycle(costs.TWakeup))
 	}
 }
 

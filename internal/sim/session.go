@@ -36,6 +36,17 @@ type SessionStats struct {
 	AvgLatencyTicks  float64
 	StaticJ          float64
 	DynamicJ         float64
+
+	// Prediction-quality summary (see sim.Result for semantics), sourced
+	// from the session's attached obs.Metrics; all zero when the session
+	// runs without one.
+	EpochDecisions       int64
+	MeanAbsPredErr       float64
+	UnderPredDecisions   int64
+	OverPredDecisions    int64
+	UnderPredStallTicks  int64
+	OverPredStaticWasteJ float64
+	PredDriftEvents      int64
 }
 
 // Session is one persistent mesh + policy model instance. Create with
@@ -183,6 +194,16 @@ func (s *Session) Snapshot() SessionStats {
 	}
 	if st.LatencyCount > 0 {
 		st.AvgLatencyTicks = float64(st.LatencySumTicks) / float64(st.LatencyCount)
+	}
+	if e.obsM != nil {
+		snap := e.obsM.Snapshot()
+		st.EpochDecisions = snap.EpochDecisions
+		st.MeanAbsPredErr = snap.MeanAbsPredErr
+		st.UnderPredDecisions = snap.UnderPredDecisions
+		st.OverPredDecisions = snap.OverPredDecisions
+		st.UnderPredStallTicks = snap.UnderPredStallTicks
+		st.OverPredStaticWasteJ = snap.OverPredStaticWasteJ
+		st.PredDriftEvents = snap.DriftEvents
 	}
 	return st
 }

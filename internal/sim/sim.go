@@ -268,6 +268,13 @@ func (c *Config) applyDefaults() error {
 }
 
 // Result summarizes one run.
+// Result is a finished run's summary. Determinism contract: every field
+// is deterministic — bit-identical across reruns of the same Config,
+// independent of shard count, worker timing, and fast-forward regime —
+// unless its own comment says "Diagnostic only". The deterministic set
+// is what equivalence tests compare and what sweep rows may embed; the
+// diagnostic fields describe how the run was scheduled, not what it
+// computed, and equivalence tests zero them before comparing.
 type Result struct {
 	Model string
 	Trace string
@@ -355,6 +362,25 @@ type Result struct {
 	ModeResidency [power.NumActiveModes]float64
 
 	Policy policy.Stats
+
+	// Prediction-quality attribution, populated only when an obs.Metrics
+	// is attached (Config.Obs) and zero otherwise. All six are
+	// deterministic: they derive from epoch-boundary decisions and
+	// controller state alone, independent of shard count and scheduling
+	// (obs stages them in per-shard lanes but folds by summation, which
+	// is invariant under the lane partition). MeanAbsPredErr is the run
+	// mean |measured - predicted| IBU over matured decisions;
+	// UnderPredDecisions/OverPredDecisions count matured decisions whose
+	// chosen mode undershot/overshot what the measured IBU called for;
+	// UnderPredStallTicks charges wakeup stalls to under-prediction and
+	// OverPredStaticWasteJ charges excess static energy to
+	// over-prediction; PredDriftEvents counts Page-Hinkley drift fires.
+	MeanAbsPredErr       float64
+	UnderPredDecisions   int64
+	OverPredDecisions    int64
+	UnderPredStallTicks  int64
+	OverPredStaticWasteJ float64
+	PredDriftEvents      int64
 
 	// Dataset holds the harvested training rows when CollectDataset.
 	Dataset *ml.Dataset
@@ -703,11 +729,17 @@ type netView struct{ n *network.Network }
 func (v netView) BuffersEmpty(r int) bool { return v.n.Routers[r].BuffersEmpty() }
 func (v netView) Secured(r int) bool      { return v.n.Secured(r) }
 
-// PacketDelivered implements network.Sink.
+// PacketDelivered implements network.Sink. The network calls it serially
+// on the engine goroutine (Commit delivers after the worker barrier), so
+// staging the latency histogram in obs lane 0 honors the owner-only lane
+// discipline.
 func (e *engine) PacketDelivered(p *flit.Packet, core int, now int64) {
 	e.sumLatency += p.Latency()
 	e.nLatency++
 	e.latencies = append(e.latencies, p.Latency())
+	if e.obsM != nil {
+		e.obsM.PacketLatency(p.Latency())
+	}
 	if e.cfg.Workload != nil {
 		e.cfg.Workload.PacketDelivered(p, core, now)
 	}
@@ -1453,7 +1485,7 @@ func (e *engine) epochBoundary(now timing.Tick) {
 	// barrier, with every shard worker parked — which is what makes the
 	// single-threaded drain of the shard lanes safe.
 	hits, misses := e.net.PoolStats()
-	e.obsM.FoldEpoch(obs.EpochFold{
+	driftFired := e.obsM.FoldEpoch(obs.EpochFold{
 		Now:            int64(now),
 		SumIBU:         sumIBU,
 		FlitsDelivered: e.net.FlitsDelivered(),
@@ -1463,6 +1495,11 @@ func (e *engine) epochBoundary(now timing.Tick) {
 		ShardLoad:      e.shardLoads(),
 		ShardResplits:  e.resplits,
 	}, e.ctrl, e.meter)
+	if driftFired && e.tr != nil {
+		// Mark the stale-weights moment on the engine track so the drift
+		// is visible in the Chrome trace timeline next to the epoch scan.
+		e.tr.Instant(obs.EngineTrack, "pred-drift", int64(now), e.obsM.DriftEvents())
+	}
 }
 
 func (e *engine) result(ticks int64, drained bool) *Result {
@@ -1505,6 +1542,15 @@ func (e *engine) result(ticks int64, drained bool) *Result {
 	res.Latency = stats.Summarize(e.latencies)
 	if e.cfg.CollectSeries && e.obsM != nil {
 		res.Series = e.obsM.Series()
+	}
+	if e.obsM != nil {
+		snap := e.obsM.Snapshot()
+		res.MeanAbsPredErr = snap.MeanAbsPredErr
+		res.UnderPredDecisions = snap.UnderPredDecisions
+		res.OverPredDecisions = snap.OverPredDecisions
+		res.UnderPredStallTicks = snap.UnderPredStallTicks
+		res.OverPredStaticWasteJ = snap.OverPredStaticWasteJ
+		res.PredDriftEvents = snap.DriftEvents
 	}
 	if ticks > 0 {
 		res.Throughput = float64(res.FlitsDelivered) / float64(ticks)

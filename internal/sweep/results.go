@@ -57,6 +57,16 @@ type Row struct {
 	ModeSwitches     int64   `json:"mode_switches"`
 	EpochDecisions   int64   `json:"epoch_decisions"`
 
+	// Prediction-quality columns (sim.Result semantics: deterministic,
+	// populated only for observed runs — zero otherwise). Top-level so
+	// downstream row consumers need not dig into the embedded snapshot.
+	MeanAbsPredErr       float64 `json:"mean_abs_pred_err"`
+	UnderPredDecisions   int64   `json:"underpred_decisions"`
+	OverPredDecisions    int64   `json:"overpred_decisions"`
+	UnderPredStallTicks  int64   `json:"underpred_stall_ticks"`
+	OverPredStaticWasteJ float64 `json:"overpred_static_waste_j"`
+	PredDriftEvents      int64   `json:"pred_drift_events"`
+
 	// Obs is the per-run epoch-fold capture (deterministic subset; nil
 	// when the run carried no observer).
 	Obs *obs.Snapshot `json:"obs,omitempty"`
@@ -96,6 +106,13 @@ func makeRow(r *Run, res *sim.Result, snap *obs.Snapshot) Row {
 		BreakevenMet:     res.Policy.BreakevenMet,
 		ModeSwitches:     res.Policy.ModeSwitches,
 		EpochDecisions:   res.Policy.EpochDecisions,
+
+		MeanAbsPredErr:       res.MeanAbsPredErr,
+		UnderPredDecisions:   res.UnderPredDecisions,
+		OverPredDecisions:    res.OverPredDecisions,
+		UnderPredStallTicks:  res.UnderPredStallTicks,
+		OverPredStaticWasteJ: res.OverPredStaticWasteJ,
+		PredDriftEvents:      res.PredDriftEvents,
 	}
 	if snap != nil {
 		det := snap.Deterministic()

@@ -228,8 +228,30 @@ func TestSweepRowsAreDeterministic(t *testing.T) {
 		if r.Obs == nil || r.Obs.Epochs == 0 {
 			t.Errorf("row %s is missing its epoch-fold capture", r.ID)
 		}
-		if r.Obs != nil && (r.Obs.TicksPerSec != 0 || r.Obs.Run != 0) {
-			t.Errorf("row %s leaked nondeterministic obs fields: %+v", r.ID, r.Obs)
+		if r.Obs != nil {
+			// The full Deterministic() contract: every scheduling- or
+			// wall-clock-dependent field must be zeroed in the embedded
+			// capture, nothing else.
+			o := r.Obs
+			if o.TicksPerSec != 0 || o.Run != 0 {
+				t.Errorf("row %s leaked nondeterministic obs fields: %+v", r.ID, o)
+			}
+			if o.ShardSweeps != nil || o.ShardLoad != nil {
+				t.Errorf("row %s leaked per-shard slices: %+v", r.ID, o)
+			}
+			if o.ShardImbalance != 0 || o.ShardResplits != 0 ||
+				o.ParallelTicks != 0 || o.ParallelLandings != 0 || o.ActiveRouters != 0 {
+				t.Errorf("row %s leaked scheduling diagnostics: %+v", r.ID, o)
+			}
+			// Prediction-quality fields are deterministic and must survive
+			// the Deterministic() filter (nonzero for observed ML-free runs
+			// too: every selector reports epoch decisions).
+			if o.EpochDecisions == 0 {
+				t.Errorf("row %s lost deterministic epoch decisions: %+v", r.ID, o)
+			}
+			if o.AbsErrHist.Count == 0 {
+				t.Errorf("row %s lost its prediction-error histogram: %+v", r.ID, o)
+			}
 		}
 	}
 }
